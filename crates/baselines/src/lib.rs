@@ -1,0 +1,30 @@
+//! # Baselines the paper compares RES against
+//!
+//! * [`forward_es`] — forward execution synthesis (ESD-like): search for
+//!   a failure-reproducing execution *from the program start*, using
+//!   only the minidump as the goal. Its cost grows with execution
+//!   length — the paper's core criticism (§1: "the longer the execution
+//!   [...] the harder it becomes to synthesize an execution all the way
+//!   from the start").
+//! * [`slicer`] — backward *static* analysis (PSE-like): computes a
+//!   backward slice from the failure PC without consulting coredump
+//!   values; sound but imprecise (§2.2).
+//! * [`recreplay`] — always-on record-replay cost models (SMP-ReVirt-
+//!   like full memory-order logging vs ODR-like output-deterministic
+//!   logging), quantifying §1's motivation.
+//! * [`wer`] — Windows-Error-Reporting-style call-stack bucketing
+//!   (§3.1).
+//! * [`exploitable_heur`] — a `!exploitable`-style heuristic crash
+//!   classifier (§5).
+
+pub mod exploitable_heur;
+pub mod forward_es;
+pub mod recreplay;
+pub mod slicer;
+pub mod wer;
+
+pub use exploitable_heur::{classify_heuristic, Exploitability};
+pub use forward_es::{ForwardConfig, ForwardResult, ForwardSynthesizer};
+pub use recreplay::{measure_recording, RecorderKind, RecordingCost};
+pub use slicer::{backward_slice, SliceResult};
+pub use wer::{bucket_by_stack, misbucket_rate, BucketingReport};

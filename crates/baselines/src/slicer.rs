@@ -1,0 +1,194 @@
+//! Backward static slicing (PSE-like baseline).
+//!
+//! PSE [Manevich et al., FSE'04] explains failures by *static* backward
+//! analysis from the failure point. Static analysis cannot consult the
+//! coredump's values, so it must keep **every** path and location that
+//! may influence the failure — sound but imprecise (paper §2.2: "These
+//! techniques are typically imprecise, as they do not use the rich
+//! source of information present in the coredump. They also work only on
+//! sequential programs").
+//!
+//! The baseline computes a backward data/control slice over registers
+//! and statically named globals and reports its size plus the number of
+//! distinct backward CFG paths — the quantities RES's coredump-driven
+//! pruning collapses.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use mvm_isa::{
+    cfg::CallGraph,
+    BlockId,
+    FuncId,
+    Inst,
+    Loc,
+    Operand,
+    Program,
+    Reg, //
+};
+
+/// The result of a static backward slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceResult {
+    /// Locations in the slice.
+    pub locations: BTreeSet<Loc>,
+    /// Distinct backward paths enumerated (capped).
+    pub paths: u64,
+    /// `true` if the path count hit the cap (the explosion RES avoids).
+    pub path_cap_hit: bool,
+}
+
+impl SliceResult {
+    /// Slice size in instructions.
+    pub fn size(&self) -> usize {
+        self.locations.len()
+    }
+}
+
+/// Computes a backward static slice from `fault` for `depth` blocks.
+///
+/// The relevance criterion starts from the registers used by the
+/// faulting instruction; any instruction defining a relevant register —
+/// or storing to any global (static analysis cannot resolve which) — is
+/// added and its uses become relevant. Path counting walks the
+/// predecessor relation without any feasibility pruning, which is
+/// exactly what makes it explode.
+pub fn backward_slice(program: &Program, fault: Loc, depth: usize, path_cap: u64) -> SliceResult {
+    let callgraph = CallGraph::build(program);
+    let block = program.func(fault.func).block(fault.block);
+    let mut relevant: HashSet<Reg> = HashSet::new();
+    if (fault.inst as usize) < block.insts.len() {
+        relevant.extend(block.insts[fault.inst as usize].used_regs());
+    } else {
+        relevant.extend(block.terminator.used_regs());
+    }
+
+    let mut locations = BTreeSet::new();
+    // Walk blocks backward breadth-first up to `depth`, accumulating
+    // defining instructions; since values are unknown statically, stores
+    // conservatively stay relevant.
+    let mut queue: VecDeque<(FuncId, BlockId, u32, usize)> = VecDeque::new();
+    queue.push_back((fault.func, fault.block, fault.inst, 0));
+    let mut seen: HashSet<(FuncId, BlockId)> = HashSet::new();
+    while let Some((f, b, upto, d)) = queue.pop_front() {
+        let blk = program.func(f).block(b);
+        for i in (0..(upto as usize).min(blk.insts.len())).rev() {
+            let inst = &blk.insts[i];
+            let defines_relevant = inst.def_reg().is_some_and(|r| relevant.contains(&r));
+            let is_store = matches!(inst, Inst::Store { .. });
+            if defines_relevant || is_store {
+                locations.insert(Loc {
+                    func: f,
+                    block: b,
+                    inst: i as u32,
+                });
+                for u in inst.used_regs() {
+                    relevant.insert(u);
+                }
+                if let Inst::Store { src, addr, .. } = inst {
+                    if let Operand::Reg(r) = src {
+                        relevant.insert(*r);
+                    }
+                    if let Operand::Reg(r) = addr {
+                        relevant.insert(*r);
+                    }
+                }
+            }
+        }
+        if d >= depth {
+            continue;
+        }
+        let cfg = callgraph.cfg(f);
+        for &p in cfg.preds(b) {
+            if seen.insert((f, p)) {
+                let len = program.func(f).block(p).insts.len() as u32;
+                queue.push_back((f, p, len, d + 1));
+            }
+        }
+        // Interprocedural: at a function entry, all call sites join the
+        // slice frontier.
+        if b == BlockId(0) {
+            for site in callgraph.callers_of(f) {
+                if seen.insert((site.caller, site.block)) {
+                    let len = program.func(site.caller).block(site.block).insts.len() as u32;
+                    queue.push_back((site.caller, site.block, len, d + 1));
+                }
+            }
+        }
+    }
+
+    // Path counting: pure backward CFG enumeration, no pruning.
+    let mut paths = 0u64;
+    let mut cap_hit = false;
+    let mut stack: Vec<(FuncId, BlockId, usize)> = vec![(fault.func, fault.block, 0)];
+    while let Some((f, b, d)) = stack.pop() {
+        if paths >= path_cap {
+            cap_hit = true;
+            break;
+        }
+        let cfg = callgraph.cfg(f);
+        let preds = cfg.preds(b);
+        if d >= depth || preds.is_empty() {
+            paths += 1;
+            continue;
+        }
+        for &p in preds {
+            stack.push((f, p, d + 1));
+        }
+    }
+    SliceResult {
+        locations,
+        paths,
+        path_cap_hit: cap_hit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use res_workloads::{build, BugKind, WorkloadParams};
+
+    #[test]
+    fn slice_contains_defining_instructions() {
+        let p = build(BugKind::DivByZero, WorkloadParams::default());
+        let main = p.func_by_name("main").unwrap();
+        // The fault is the `divu` in block `divide`.
+        let divide = p.func(main).block_by_label("divide").unwrap();
+        let fault = Loc {
+            func: main,
+            block: divide,
+            inst: 1,
+        };
+        let r = backward_slice(&p, fault, 6, 10_000);
+        assert!(r.size() >= 3, "slice too small: {:?}", r.locations);
+    }
+
+    #[test]
+    fn paths_explode_on_loops_without_pruning() {
+        let p = build(BugKind::DivByZero, WorkloadParams::default());
+        let main = p.func_by_name("main").unwrap();
+        let divide = p.func(main).block_by_label("divide").unwrap();
+        let fault = Loc {
+            func: main,
+            block: divide,
+            inst: 1,
+        };
+        let shallow = backward_slice(&p, fault, 3, 1_000_000);
+        let deep = backward_slice(&p, fault, 18, 1_000_000);
+        assert!(deep.paths > shallow.paths, "{} vs {}", deep.paths, shallow.paths);
+    }
+
+    #[test]
+    fn path_cap_reported() {
+        let p = build(BugKind::DataRace, WorkloadParams::default());
+        let main = p.func_by_name("main").unwrap();
+        let check = p.func(main).block_by_label("check").unwrap();
+        let fault = Loc {
+            func: main,
+            block: check,
+            inst: 3,
+        };
+        let r = backward_slice(&p, fault, 400, 20);
+        assert!(r.path_cap_hit);
+        assert_eq!(r.paths, 20);
+    }
+}

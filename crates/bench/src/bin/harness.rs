@@ -1,0 +1,70 @@
+//! The experiment harness: regenerates every table of the evaluation.
+//!
+//! ```text
+//! cargo run --release -p res-bench --bin harness            # all
+//! cargo run --release -p res-bench --bin harness -- e3 e5   # a subset
+//! ```
+
+use res_bench::experiments as ex;
+use res_bench::Experiment;
+
+fn run(id: &str) -> Option<Experiment> {
+    Some(match id {
+        "e1" => ex::e1_hotos_eval(),
+        "e2" => ex::e2_figure1(),
+        "e3" => ex::e3_length_sweep(),
+        "e4" => ex::e4_breadcrumbs(),
+        "e5" => ex::e5_triage(),
+        "e6" => ex::e6_exploitability(),
+        "e7" => ex::e7_hardware(),
+        "e8" => ex::e8_recording_overhead(),
+        "e9" => ex::e9_suffix_budget(),
+        "e10" => ex::e10_hard_constructs(),
+        "e11" => ex::e11_replay_determinism(),
+        "a1" => ex::a1_overapprox_ablation(),
+        "a2" => ex::a2_dump_vs_minidump(),
+        "a3" => ex::a3_solver_budget(),
+        _ => return None,
+    })
+}
+
+fn print_experiment(e: &Experiment) {
+    println!("================================================================");
+    println!("{} — {}", e.id, e.claim);
+    println!("================================================================");
+    println!("{}", e.table);
+    println!(
+        "shape check: {}",
+        if e.shape_holds { "HOLDS" } else { "DOES NOT HOLD" }
+    );
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results: Vec<Experiment> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ex::run_all()
+    } else {
+        args.iter()
+            .filter_map(|a| {
+                let r = run(&a.to_lowercase());
+                if r.is_none() {
+                    eprintln!("unknown experiment id {a:?} (use e1..e11, a1..a3, all)");
+                }
+                r
+            })
+            .collect()
+    };
+    for e in &results {
+        print_experiment(e);
+    }
+    let holds = results.iter().filter(|e| e.shape_holds).count();
+    println!(
+        "summary: {}/{} experiment shapes hold",
+        holds,
+        results.len()
+    );
+    if holds != results.len() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Post-hoc hardware-fault injection into coredumps.
+//!
+//! Paper §3.2: hardware errors (multi-bit DRAM failures, CPU
+//! miscomputation, rogue DMA) produce coredumps that *no feasible
+//! software execution explains*. To evaluate the RES hardware-error
+//! verdict we need labeled examples of such dumps; these injectors
+//! manufacture them by corrupting an otherwise-genuine software-bug dump
+//! after capture — exactly how a flipped DRAM bit would present.
+
+use serde::{Deserialize, Serialize};
+
+use mvm_isa::Reg;
+
+use crate::dump::Coredump;
+
+/// What an injector did, for ground-truth labels in experiments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectionReport {
+    /// A memory bit was flipped.
+    MemoryBitFlip {
+        /// Corrupted address.
+        addr: u64,
+        /// Which bit (0..8) of the byte.
+        bit: u8,
+        /// Byte value before the flip.
+        before: u8,
+        /// Byte value after.
+        after: u8,
+    },
+    /// A register in a thread frame was corrupted (proxy for a CPU
+    /// datapath error whose wrong result was spilled or still live).
+    RegisterCorrupt {
+        /// Thread whose frame was corrupted.
+        tid: u64,
+        /// Frame index (0 = outermost).
+        frame: usize,
+        /// The register.
+        reg: u8,
+        /// Value before.
+        before: u64,
+        /// Value after.
+        after: u64,
+    },
+}
+
+/// Deterministic xorshift for seedable injection-site selection.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Flips one bit of a mapped memory byte, chosen by `seed`.
+///
+/// Returns `None` if the dump has no mapped memory. Zero bytes are
+/// preferred targets only in the sense that any mapped byte qualifies;
+/// the flip is made visibly (before ≠ after) by construction.
+pub fn flip_memory_bit(dump: &mut Coredump, seed: u64) -> Option<InjectionReport> {
+    let pages: Vec<u64> = dump.memory.iter_pages().map(|(b, _)| b).collect();
+    if pages.is_empty() {
+        return None;
+    }
+    let mut s = seed;
+    let page = pages[(xorshift(&mut s) % pages.len() as u64) as usize];
+    let offset = xorshift(&mut s) % 4096;
+    let bit = (xorshift(&mut s) % 8) as u8;
+    let addr = page + offset;
+    let before = dump.memory.read_byte(addr).unwrap_or(0);
+    let after = before ^ (1 << bit);
+    dump.memory.write_byte(addr, after);
+    Some(InjectionReport::MemoryBitFlip {
+        addr,
+        bit,
+        before,
+        after,
+    })
+}
+
+/// Flips one bit of the byte at a *specific* address.
+pub fn flip_memory_bit_at(dump: &mut Coredump, addr: u64, bit: u8) -> InjectionReport {
+    let before = dump.memory.read_byte(addr).unwrap_or(0);
+    let after = before ^ (1 << (bit % 8));
+    dump.memory.write_byte(addr, after);
+    InjectionReport::MemoryBitFlip {
+        addr,
+        bit: bit % 8,
+        before,
+        after,
+    }
+}
+
+/// Corrupts a register of the faulting thread's innermost frame, chosen
+/// by `seed` (a CPU-error proxy: the bad ALU result is still live).
+pub fn corrupt_register(dump: &mut Coredump, seed: u64) -> InjectionReport {
+    let mut s = seed;
+    let reg = (xorshift(&mut s) % Reg::COUNT as u64) as u8;
+    let delta = xorshift(&mut s) | 1;
+    let tid = dump.faulting_tid;
+    let t = dump
+        .threads
+        .iter_mut()
+        .find(|t| t.tid == tid)
+        .expect("dump lacks faulting thread");
+    let frame_idx = t.frames.len() - 1;
+    let before = t.frames[frame_idx].reg(Reg(reg));
+    let after = before ^ delta;
+    t.frames[frame_idx].set_reg(Reg(reg), after);
+    InjectionReport::RegisterCorrupt {
+        tid,
+        frame: frame_idx,
+        reg,
+        before,
+        after,
+    }
+}
+
+/// Corrupts a specific register (counting frames from the top of the
+/// faulting thread's stack) by XOR-ing `xor` into it.
+///
+/// # Panics
+///
+/// Panics if the dump lacks the faulting thread or the frame index is
+/// out of range.
+pub fn corrupt_register_at(
+    dump: &mut Coredump,
+    frame_from_top: usize,
+    reg: Reg,
+    xor: u64,
+) -> InjectionReport {
+    let tid = dump.faulting_tid;
+    let t = dump
+        .threads
+        .iter_mut()
+        .find(|t| t.tid == tid)
+        .expect("dump lacks faulting thread");
+    let frame_idx = t.frames.len() - 1 - frame_from_top;
+    let before = t.frames[frame_idx].reg(reg);
+    let after = before ^ (xor | 1);
+    t.frames[frame_idx].set_reg(reg, after);
+    InjectionReport::RegisterCorrupt {
+        tid,
+        frame: frame_idx,
+        reg: reg.0,
+        before,
+        after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvm_isa::asm::assemble;
+    use mvm_machine::{Machine, MachineConfig};
+
+    fn dump() -> Coredump {
+        let p = assemble(
+            "global g 8 = 5\nfunc main() {\nentry:\n  addr r0, g\n  load r1, [r0]\n  assert 0, \"x\"\n  halt\n}",
+        )
+        .unwrap();
+        let mut m = Machine::new(p, MachineConfig::default());
+        m.run();
+        Coredump::capture(&m)
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut d = dump();
+        let orig = d.clone();
+        let r = flip_memory_bit(&mut d, 1234).unwrap();
+        let InjectionReport::MemoryBitFlip { addr, before, after, .. } = r else {
+            panic!("wrong report kind")
+        };
+        assert_eq!((before ^ after).count_ones(), 1);
+        assert_eq!(d.memory.read_byte(addr).unwrap_or(0), after);
+        assert_eq!(orig.memory.diff(&d.memory, 10), vec![addr]);
+    }
+
+    #[test]
+    fn bit_flip_is_seed_deterministic() {
+        let mut a = dump();
+        let mut b = dump();
+        assert_eq!(flip_memory_bit(&mut a, 7), flip_memory_bit(&mut b, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn targeted_flip_hits_requested_address() {
+        let mut d = dump();
+        let g_addr = mvm_isa::layout::GLOBAL_BASE;
+        let r = flip_memory_bit_at(&mut d, g_addr, 0);
+        let InjectionReport::MemoryBitFlip { before, after, .. } = r else {
+            panic!("wrong report kind")
+        };
+        assert_eq!(before, 5);
+        assert_eq!(after, 4);
+        assert_eq!(d.memory.read_byte(g_addr), Some(4));
+    }
+
+    #[test]
+    fn register_corruption_changes_value() {
+        let mut d = dump();
+        let r = corrupt_register(&mut d, 99);
+        let InjectionReport::RegisterCorrupt { tid, frame, reg, before, after } = r else {
+            panic!("wrong report kind")
+        };
+        assert_ne!(before, after);
+        let t = d.thread(tid).unwrap();
+        assert_eq!(t.frames[frame].reg(Reg(reg)), after);
+    }
+}

@@ -1,0 +1,950 @@
+//! A line-oriented text assembler for MicroVM programs.
+//!
+//! The assembler exists so that example programs and tests can be written
+//! legibly as text rather than through the builder API. The syntax:
+//!
+//! ```text
+//! # Globals: `global NAME SIZE`, optionally `= <u64>` for word init.
+//! global counter 8 = 5
+//!
+//! func worker(1) {
+//! entry:
+//!     load r1, [r0]        # word load; load1/load2/load4 for narrow
+//!     add r1, r1, 1
+//!     store r1, [r0+8]
+//!     br r1, done, done
+//! done:
+//!     ret r1
+//! }
+//!
+//! func main() {
+//! entry:
+//!     addr r0, counter
+//!     call r2 = worker(r0), cont
+//! cont:
+//!     input r3, net
+//!     output r3, out
+//!     assert r2, "worker result must be non-zero"
+//!     halt
+//! }
+//! ```
+//!
+//! Mnemonics mirror [`crate::inst`]: `mov`, the [`crate::BinOp`]
+//! mnemonics, `not`/`neg`, `load{,1,2,4}`, `store{,1,2,4}`, `addr`,
+//! `input`, `output`, `alloc`, `free`, `lock`, `unlock`, `spawn`, `join`,
+//! `assert`, `nop`; terminators `jmp`, `br`, `call`, `ret`, `halt`.
+
+use std::collections::HashMap;
+
+use crate::inst::{BinOp, Channel, InputKind, Inst, Operand, Reg, Terminator, UnOp, Width};
+use crate::program::{BlockId, FuncId, GlobalId, Program};
+use crate::validate::ValidateError;
+use crate::{Function, Global};
+
+/// An assembly error with a 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line where the error was detected (0 for program-level
+    /// errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ValidateError> for AsmError {
+    fn from(e: ValidateError) -> Self {
+        AsmError {
+            line: 0,
+            msg: e.to_string(),
+        }
+    }
+}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Assembles a text program into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] on syntax errors, unresolved labels or names,
+/// or if the resulting program fails [`crate::validate::validate`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    Parser::new(src).parse()
+}
+
+struct PendingTerm {
+    line: usize,
+    term: TermTemplate,
+}
+
+enum TermTemplate {
+    Jump(String),
+    Branch {
+        cond: Operand,
+        then_l: String,
+        else_l: String,
+    },
+    Call {
+        func: String,
+        args: Vec<Operand>,
+        ret: Option<Reg>,
+        cont: String,
+    },
+    Return(Option<Operand>),
+    Halt,
+}
+
+struct PendingBlock {
+    label: String,
+    line: usize,
+    insts: Vec<PendingInst>,
+    term: Option<PendingTerm>,
+}
+
+enum PendingInst {
+    Ready(Inst),
+    AddrOf { dst: Reg, global: String, line: usize },
+    Spawn {
+        dst: Reg,
+        func: String,
+        arg: Operand,
+        line: usize,
+    },
+}
+
+struct PendingFunc {
+    name: String,
+    arity: usize,
+    line: usize,
+    blocks: Vec<PendingBlock>,
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let no_comment = match (l.find('#'), l.find("//")) {
+                    (Some(a), Some(b)) => &l[..a.min(b)],
+                    (Some(a), None) => &l[..a],
+                    (None, Some(b)) => &l[..b],
+                    (None, None) => l,
+                };
+                (i + 1, no_comment.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        self.pos += 1;
+        l
+    }
+
+    fn parse(mut self) -> Result<Program, AsmError> {
+        let mut globals: Vec<Global> = Vec::new();
+        let mut global_ids: HashMap<String, GlobalId> = HashMap::new();
+        let mut funcs: Vec<PendingFunc> = Vec::new();
+
+        while let Some((line, text)) = self.next() {
+            if let Some(rest) = text.strip_prefix("global ") {
+                let (name, size, init) = parse_global(line, rest)?;
+                if global_ids.contains_key(&name) {
+                    return err(line, format!("duplicate global {name:?}"));
+                }
+                global_ids.insert(name.clone(), GlobalId(globals.len() as u32));
+                globals.push(Global {
+                    name,
+                    size,
+                    addr: 0,
+                    init,
+                });
+            } else if let Some(rest) = text.strip_prefix("func ") {
+                funcs.push(self.parse_func(line, rest)?);
+            } else {
+                return err(line, format!("expected `global` or `func`, found {text:?}"));
+            }
+        }
+
+        let func_ids: HashMap<String, FuncId> = funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+            .collect();
+        if func_ids.len() != funcs.len() {
+            return err(0, "duplicate function name");
+        }
+        let entry = match func_ids.get("main") {
+            Some(&id) => id,
+            None => return err(0, "no `main` function"),
+        };
+
+        // Resolve label/name references now that all definitions exist.
+        let mut resolved = Vec::with_capacity(funcs.len());
+        for pf in funcs {
+            let labels: HashMap<String, BlockId> = pf
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b.label.clone(), BlockId(i as u32)))
+                .collect();
+            if labels.len() != pf.blocks.len() {
+                return err(pf.line, format!("duplicate label in function {:?}", pf.name));
+            }
+            let lookup_label = |l: &str, line: usize| -> Result<BlockId, AsmError> {
+                labels
+                    .get(l)
+                    .copied()
+                    .ok_or_else(|| AsmError {
+                        line,
+                        msg: format!("unknown label {l:?}"),
+                    })
+            };
+            let lookup_func = |f: &str, line: usize| -> Result<FuncId, AsmError> {
+                func_ids.get(f).copied().ok_or_else(|| AsmError {
+                    line,
+                    msg: format!("unknown function {f:?}"),
+                })
+            };
+            let mut blocks = Vec::with_capacity(pf.blocks.len());
+            for pb in pf.blocks {
+                let mut insts = Vec::with_capacity(pb.insts.len());
+                for pi in pb.insts {
+                    insts.push(match pi {
+                        PendingInst::Ready(i) => i,
+                        PendingInst::AddrOf { dst, global, line } => {
+                            let gid = global_ids.get(&global).copied().ok_or_else(|| AsmError {
+                                line,
+                                msg: format!("unknown global {global:?}"),
+                            })?;
+                            Inst::AddrOf { dst, global: gid }
+                        }
+                        PendingInst::Spawn { dst, func, arg, line } => Inst::Spawn {
+                            dst,
+                            func: lookup_func(&func, line)?,
+                            arg,
+                        },
+                    });
+                }
+                let Some(pt) = pb.term else {
+                    return err(
+                        pb.line,
+                        format!("block {:?} in {:?} has no terminator", pb.label, pf.name),
+                    );
+                };
+                let terminator = match pt.term {
+                    TermTemplate::Jump(l) => Terminator::Jump(lookup_label(&l, pt.line)?),
+                    TermTemplate::Branch { cond, then_l, else_l } => Terminator::Branch {
+                        cond,
+                        then_b: lookup_label(&then_l, pt.line)?,
+                        else_b: lookup_label(&else_l, pt.line)?,
+                    },
+                    TermTemplate::Call { func, args, ret, cont } => Terminator::Call {
+                        func: lookup_func(&func, pt.line)?,
+                        args,
+                        ret,
+                        cont: lookup_label(&cont, pt.line)?,
+                    },
+                    TermTemplate::Return(v) => Terminator::Return(v),
+                    TermTemplate::Halt => Terminator::Halt,
+                };
+                blocks.push(crate::BasicBlock {
+                    label: pb.label,
+                    insts,
+                    terminator,
+                });
+            }
+            resolved.push(Function {
+                name: pf.name,
+                arity: pf.arity,
+                blocks,
+            });
+        }
+
+        let mut program = Program {
+            funcs: resolved,
+            globals,
+            entry,
+        };
+        program.assign_addresses();
+        crate::validate::validate(&program)?;
+        Ok(program)
+    }
+
+    fn parse_func(&mut self, line: usize, header: &str) -> Result<PendingFunc, AsmError> {
+        // Header: `NAME(ARITY) {` — arity may be empty for 0.
+        let header = header.trim();
+        let Some(brace) = header.strip_suffix('{') else {
+            return err(line, "function header must end with `{`");
+        };
+        let sig = brace.trim();
+        let (name, arity) = parse_signature(line, sig)?;
+        let mut blocks: Vec<PendingBlock> = Vec::new();
+        loop {
+            let Some((lno, text)) = self.next() else {
+                return err(line, format!("unterminated function {name:?}"));
+            };
+            if text == "}" {
+                break;
+            }
+            if let Some(label) = text.strip_suffix(':') {
+                if !is_ident(label) {
+                    return err(lno, format!("bad label {label:?}"));
+                }
+                blocks.push(PendingBlock {
+                    label: label.to_string(),
+                    line: lno,
+                    insts: Vec::new(),
+                    term: None,
+                });
+                continue;
+            }
+            let Some(block) = blocks.last_mut() else {
+                return err(lno, "instruction before first label");
+            };
+            if block.term.is_some() {
+                return err(lno, "instruction after block terminator; add a new label");
+            }
+            parse_stmt(lno, text, block)?;
+        }
+        if blocks.is_empty() {
+            return err(line, format!("function {name:?} has no blocks"));
+        }
+        Ok(PendingFunc {
+            name,
+            arity,
+            line,
+            blocks,
+        })
+    }
+}
+
+fn parse_signature(line: usize, sig: &str) -> Result<(String, usize), AsmError> {
+    let Some(open) = sig.find('(') else {
+        return err(line, "expected `name(arity)`");
+    };
+    let Some(close) = sig.rfind(')') else {
+        return err(line, "expected closing `)`");
+    };
+    let name = sig[..open].trim();
+    if !is_ident(name) {
+        return err(line, format!("bad function name {name:?}"));
+    }
+    let inner = sig[open + 1..close].trim();
+    let arity = if inner.is_empty() {
+        0
+    } else {
+        inner
+            .parse::<usize>()
+            .map_err(|_| AsmError {
+                line,
+                msg: format!("bad arity {inner:?}"),
+            })?
+    };
+    Ok((name.to_string(), arity))
+}
+
+fn parse_global(line: usize, rest: &str) -> Result<(String, u64, Vec<u8>), AsmError> {
+    // `NAME SIZE` or `NAME SIZE = VALUE`.
+    let (decl, init) = match rest.split_once('=') {
+        Some((d, v)) => (d.trim(), Some(v.trim())),
+        None => (rest.trim(), None),
+    };
+    let mut parts = decl.split_whitespace();
+    let Some(name) = parts.next() else {
+        return err(line, "global needs a name");
+    };
+    if !is_ident(name) {
+        return err(line, format!("bad global name {name:?}"));
+    }
+    let Some(size_s) = parts.next() else {
+        return err(line, "global needs a size");
+    };
+    if parts.next().is_some() {
+        return err(line, "unexpected tokens after global size");
+    }
+    let size = parse_u64(size_s).ok_or_else(|| AsmError {
+        line,
+        msg: format!("bad global size {size_s:?}"),
+    })?;
+    let init_bytes = match init {
+        None => Vec::new(),
+        Some(v) => {
+            let val = parse_u64(v).ok_or_else(|| AsmError {
+                line,
+                msg: format!("bad global initializer {v:?}"),
+            })?;
+            if size < 8 {
+                return err(line, "word-initialized global must be at least 8 bytes");
+            }
+            val.to_le_bytes().to_vec()
+        }
+    };
+    Ok((name.to_string(), size, init_bytes))
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(neg) = s.strip_prefix('-') {
+        neg.parse::<u64>().ok().map(|v| v.wrapping_neg())
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    let s = s.trim();
+    if let Some(n) = s.strip_prefix('r') {
+        if let Ok(i) = n.parse::<u8>() {
+            if (i as usize) < Reg::COUNT {
+                return Ok(Reg(i));
+            }
+        }
+    }
+    err(line, format!("expected register, found {s:?}"))
+}
+
+fn parse_operand(line: usize, s: &str) -> Result<Operand, AsmError> {
+    let s = s.trim();
+    if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 {
+        return Ok(Operand::Reg(parse_reg(line, s)?));
+    }
+    parse_u64(s)
+        .map(Operand::Imm)
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected operand, found {s:?}"),
+        })
+}
+
+/// Parses `[rN]`, `[rN+K]`, or `[rN-K]`.
+fn parse_mem(line: usize, s: &str) -> Result<(Operand, i64), AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected memory operand like [r0+8], found {s:?}"),
+        })?;
+    let (base_s, off) = if let Some(p) = inner.find('+') {
+        (&inner[..p], inner[p + 1..].trim().parse::<i64>().ok())
+    } else if let Some(p) = inner.rfind('-') {
+        (
+            &inner[..p],
+            inner[p + 1..].trim().parse::<i64>().ok().map(|v| -v),
+        )
+    } else {
+        (inner, Some(0))
+    };
+    let Some(offset) = off else {
+        return err(line, format!("bad memory offset in {s:?}"));
+    };
+    Ok((parse_operand(line, base_s)?, offset))
+}
+
+fn split_args(s: &str) -> Vec<&str> {
+    s.split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+}
+
+fn binop_of(m: &str) -> Option<BinOp> {
+    Some(match m {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "divu" => BinOp::DivU,
+        "remu" => BinOp::RemU,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "sar" => BinOp::Sar,
+        "eq" => BinOp::Eq,
+        "ne" => BinOp::Ne,
+        "ltu" => BinOp::LtU,
+        "leu" => BinOp::LeU,
+        "lts" => BinOp::LtS,
+        "les" => BinOp::LeS,
+        _ => return None,
+    })
+}
+
+fn width_of_suffix(m: &str, base: &str) -> Option<Width> {
+    match m.strip_prefix(base)? {
+        "" => Some(Width::W8),
+        "1" => Some(Width::W1),
+        "2" => Some(Width::W2),
+        "4" => Some(Width::W4),
+        _ => None,
+    }
+}
+
+fn parse_stmt(line: usize, text: &str, block: &mut PendingBlock) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(p) => (&text[..p], text[p..].trim()),
+        None => (text, ""),
+    };
+
+    // Terminators first.
+    match mnemonic {
+        "jmp" => {
+            block.term = Some(PendingTerm {
+                line,
+                term: TermTemplate::Jump(rest.to_string()),
+            });
+            return Ok(());
+        }
+        "br" => {
+            let a = split_args(rest);
+            if a.len() != 3 {
+                return err(line, "br needs `cond, then, else`");
+            }
+            block.term = Some(PendingTerm {
+                line,
+                term: TermTemplate::Branch {
+                    cond: parse_operand(line, a[0])?,
+                    then_l: a[1].to_string(),
+                    else_l: a[2].to_string(),
+                },
+            });
+            return Ok(());
+        }
+        "call" => {
+            // `call rX = name(args), cont` or `call name(args), cont`.
+            let (ret, callpart) = match rest.split_once('=') {
+                Some((r, c)) if r.trim().starts_with('r') && !r.contains('(') => {
+                    (Some(parse_reg(line, r.trim())?), c.trim())
+                }
+                _ => (None, rest),
+            };
+            let Some(open) = callpart.find('(') else {
+                return err(line, "call needs `name(args), cont`");
+            };
+            let Some(close) = callpart.rfind(')') else {
+                return err(line, "call missing `)`");
+            };
+            let name = callpart[..open].trim();
+            let args = split_args(&callpart[open + 1..close])
+                .into_iter()
+                .map(|a| parse_operand(line, a))
+                .collect::<Result<Vec<_>, _>>()?;
+            let cont = callpart[close + 1..]
+                .trim()
+                .strip_prefix(',')
+                .map(str::trim)
+                .ok_or_else(|| AsmError {
+                    line,
+                    msg: "call needs a continuation label after `)`".into(),
+                })?;
+            if !is_ident(name) || !is_ident(cont) {
+                return err(line, "bad call syntax");
+            }
+            block.term = Some(PendingTerm {
+                line,
+                term: TermTemplate::Call {
+                    func: name.to_string(),
+                    args,
+                    ret,
+                    cont: cont.to_string(),
+                },
+            });
+            return Ok(());
+        }
+        "ret" => {
+            let v = if rest.is_empty() {
+                None
+            } else {
+                Some(parse_operand(line, rest)?)
+            };
+            block.term = Some(PendingTerm {
+                line,
+                term: TermTemplate::Return(v),
+            });
+            return Ok(());
+        }
+        "halt" => {
+            block.term = Some(PendingTerm {
+                line,
+                term: TermTemplate::Halt,
+            });
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    // Straight-line instructions.
+    let a = split_args(rest);
+    let inst: PendingInst = if mnemonic == "mov" {
+        if a.len() != 2 {
+            return err(line, "mov needs `dst, src`");
+        }
+        PendingInst::Ready(Inst::Mov {
+            dst: parse_reg(line, a[0])?,
+            src: parse_operand(line, a[1])?,
+        })
+    } else if let Some(op) = binop_of(mnemonic) {
+        if a.len() != 3 {
+            return err(line, format!("{mnemonic} needs `dst, lhs, rhs`"));
+        }
+        PendingInst::Ready(Inst::Bin {
+            op,
+            dst: parse_reg(line, a[0])?,
+            lhs: parse_operand(line, a[1])?,
+            rhs: parse_operand(line, a[2])?,
+        })
+    } else if mnemonic == "not" || mnemonic == "neg" {
+        if a.len() != 2 {
+            return err(line, format!("{mnemonic} needs `dst, src`"));
+        }
+        PendingInst::Ready(Inst::Un {
+            op: if mnemonic == "not" { UnOp::Not } else { UnOp::Neg },
+            dst: parse_reg(line, a[0])?,
+            src: parse_operand(line, a[1])?,
+        })
+    } else if let Some(width) = width_of_suffix(mnemonic, "load") {
+        if a.len() != 2 {
+            return err(line, "load needs `dst, [addr]`");
+        }
+        let (addr, offset) = parse_mem(line, a[1])?;
+        PendingInst::Ready(Inst::Load {
+            dst: parse_reg(line, a[0])?,
+            addr,
+            offset,
+            width,
+        })
+    } else if let Some(width) = width_of_suffix(mnemonic, "store") {
+        if a.len() != 2 {
+            return err(line, "store needs `src, [addr]`");
+        }
+        let (addr, offset) = parse_mem(line, a[1])?;
+        PendingInst::Ready(Inst::Store {
+            src: parse_operand(line, a[0])?,
+            addr,
+            offset,
+            width,
+        })
+    } else if mnemonic == "addr" {
+        if a.len() != 2 || !is_ident(a[1]) {
+            return err(line, "addr needs `dst, global_name`");
+        }
+        PendingInst::AddrOf {
+            dst: parse_reg(line, a[0])?,
+            global: a[1].to_string(),
+            line,
+        }
+    } else if mnemonic == "input" {
+        if a.len() != 2 {
+            return err(line, "input needs `dst, kind`");
+        }
+        let kind = match a[1] {
+            "net" => InputKind::Network,
+            "file" => InputKind::File,
+            "time" => InputKind::Time,
+            "rand" => InputKind::Random,
+            "env" => InputKind::Env,
+            k => return err(line, format!("unknown input kind {k:?}")),
+        };
+        PendingInst::Ready(Inst::Input {
+            dst: parse_reg(line, a[0])?,
+            kind,
+        })
+    } else if mnemonic == "output" {
+        if a.len() != 2 {
+            return err(line, "output needs `src, channel`");
+        }
+        let channel = match a[1] {
+            "out" => Channel::Out,
+            "log" => Channel::Log,
+            c => return err(line, format!("unknown channel {c:?}")),
+        };
+        PendingInst::Ready(Inst::Output {
+            src: parse_operand(line, a[0])?,
+            channel,
+        })
+    } else if mnemonic == "alloc" {
+        if a.len() != 2 {
+            return err(line, "alloc needs `dst, size`");
+        }
+        PendingInst::Ready(Inst::Alloc {
+            dst: parse_reg(line, a[0])?,
+            size: parse_operand(line, a[1])?,
+        })
+    } else if mnemonic == "free" {
+        if a.len() != 1 {
+            return err(line, "free needs `addr`");
+        }
+        PendingInst::Ready(Inst::Free {
+            addr: parse_operand(line, a[0])?,
+        })
+    } else if mnemonic == "lock" || mnemonic == "unlock" {
+        if a.len() != 1 {
+            return err(line, format!("{mnemonic} needs `addr`"));
+        }
+        let addr = parse_operand(line, a[0])?;
+        PendingInst::Ready(if mnemonic == "lock" {
+            Inst::Lock { addr }
+        } else {
+            Inst::Unlock { addr }
+        })
+    } else if mnemonic == "spawn" {
+        if a.len() != 3 || !is_ident(a[1]) {
+            return err(line, "spawn needs `dst, func, arg`");
+        }
+        PendingInst::Spawn {
+            dst: parse_reg(line, a[0])?,
+            func: a[1].to_string(),
+            arg: parse_operand(line, a[2])?,
+            line,
+        }
+    } else if mnemonic == "join" {
+        if a.len() != 1 {
+            return err(line, "join needs `tid`");
+        }
+        PendingInst::Ready(Inst::Join {
+            tid: parse_operand(line, a[0])?,
+        })
+    } else if mnemonic == "assert" {
+        // `assert cond, "message"` — message optional.
+        let (cond_s, msg) = match rest.split_once(',') {
+            Some((c, m)) => (c.trim(), m.trim().trim_matches('"').to_string()),
+            None => (rest, String::from("assertion failed")),
+        };
+        PendingInst::Ready(Inst::Assert {
+            cond: parse_operand(line, cond_s)?,
+            msg,
+        })
+    } else if mnemonic == "nop" {
+        PendingInst::Ready(Inst::Nop)
+    } else {
+        return err(line, format!("unknown mnemonic {mnemonic:?}"));
+    };
+    block.insts.push(inst);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_minimal() {
+        let p = assemble("func main() {\nentry:\n  halt\n}").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.func(p.entry).name, "main");
+    }
+
+    #[test]
+    fn assemble_globals_and_memory() {
+        let p = assemble(
+            r#"
+            global counter 8 = 7
+            global buf 32
+            func main() {
+            entry:
+                addr r0, counter
+                load r1, [r0]
+                add r1, r1, 1
+                store r1, [r0]
+                addr r2, buf
+                store1 r1, [r2+3]
+                load2 r3, [r2-0]
+                halt
+            }
+            "#,
+        )
+        .unwrap();
+        let g = p.global_by_name("counter").unwrap();
+        assert_eq!(p.global(g).init, 7u64.to_le_bytes().to_vec());
+        let b = &p.func(p.entry).blocks[0];
+        assert!(matches!(
+            b.insts[5],
+            Inst::Store {
+                width: Width::W1,
+                offset: 3,
+                ..
+            }
+        ));
+        assert!(matches!(b.insts[6], Inst::Load { width: Width::W2, .. }));
+    }
+
+    #[test]
+    fn assemble_control_flow_and_calls() {
+        let p = assemble(
+            r#"
+            func inc(1) {
+            entry:
+                add r1, r0, 1
+                ret r1
+            }
+            func main() {
+            entry:
+                mov r0, 5
+                call r1 = inc(r0), after
+            after:
+                eq r2, r1, 6
+                br r2, good, bad
+            good:
+                halt
+            bad:
+                assert 0, "inc failed"
+                halt
+            }
+            "#,
+        )
+        .unwrap();
+        let main = p.func(p.entry);
+        assert_eq!(main.blocks.len(), 4);
+        assert!(matches!(
+            main.blocks[0].terminator,
+            Terminator::Call { ret: Some(Reg(1)), .. }
+        ));
+    }
+
+    #[test]
+    fn assemble_threads_and_sync() {
+        let p = assemble(
+            r#"
+            global m 8
+            func worker(1) {
+            entry:
+                lock r0
+                unlock r0
+                halt
+            }
+            func main() {
+            entry:
+                addr r0, m
+                spawn r1, worker, r0
+                join r1
+                halt
+            }
+            "#,
+        )
+        .unwrap();
+        let main_id = p.func_by_name("main").unwrap();
+        assert!(matches!(
+            p.func(main_id).blocks[0].insts[1],
+            Inst::Spawn { .. }
+        ));
+    }
+
+    #[test]
+    fn assemble_inputs_outputs() {
+        let p = assemble(
+            r#"
+            func main() {
+            entry:
+                input r0, net
+                input r1, time
+                output r0, out
+                output r1, log
+                halt
+            }
+            "#,
+        )
+        .unwrap();
+        let b = &p.func(p.entry).blocks[0];
+        assert!(matches!(
+            b.insts[0],
+            Inst::Input {
+                kind: InputKind::Network,
+                ..
+            }
+        ));
+        assert!(matches!(
+            b.insts[3],
+            Inst::Output {
+                channel: Channel::Log,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn comments_and_negative_offsets() {
+        let p = assemble(
+            "# leading comment\nfunc main() { // trailing\nentry:\n  mov r0, -1\n  store r0, [r0-8]\n  halt\n}",
+        )
+        .unwrap();
+        let b = &p.func(p.entry).blocks[0];
+        assert!(matches!(
+            b.insts[0],
+            Inst::Mov {
+                src: Operand::Imm(u64::MAX),
+                ..
+            }
+        ));
+        assert!(matches!(b.insts[1], Inst::Store { offset: -8, .. }));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = assemble("func main() {\nentry:\n  bogus r1\n  halt\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let e = assemble("func main() {\nentry:\n  jmp nowhere\n}").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let e = assemble("func f() {\nentry:\n  halt\n}").unwrap_err();
+        assert!(e.msg.contains("main"));
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let e = assemble("func main() {\nentry:\n  mov r0, 1\n}").unwrap_err();
+        assert!(e.msg.contains("terminator"));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("func main() {\nentry:\n  mov r0, 0xff\n  halt\n}").unwrap();
+        assert!(matches!(
+            p.func(p.entry).blocks[0].insts[0],
+            Inst::Mov {
+                src: Operand::Imm(255),
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,297 @@
+//! Control-flow-graph and call-graph utilities.
+//!
+//! RES navigates the CFG *backward* (paper §2.3: "RES starts from the
+//! coredump and navigates P's control-flow graph backward until it
+//! reaches a basic block that has at least two predecessors"), so the
+//! predecessor map is the workhorse here. The call graph supports
+//! interprocedural steps: at a function's entry block the backward
+//! predecessors are its call sites, and at a call continuation block the
+//! predecessor is the callee's returning block(s).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::inst::Terminator;
+use crate::program::{BlockId, FuncId, Function, Program};
+
+/// Intra-procedural control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function from its terminators.
+    pub fn build(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            for s in block.terminator.successors() {
+                succs[bid.0 as usize].push(s);
+                preds[s.0 as usize].push(bid);
+            }
+        }
+        Cfg { preds, succs }
+    }
+
+    /// Number of blocks in the function.
+    pub fn block_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Blocks unreachable from the entry (useful to diagnose generated
+    /// workloads).
+    pub fn unreachable_blocks(&self) -> Vec<BlockId> {
+        let mut seen = vec![false; self.block_count()];
+        let mut queue = VecDeque::from([BlockId(0)]);
+        seen[0] = true;
+        while let Some(b) = queue.pop_front() {
+            for &s in self.succs(b) {
+                if !seen[s.0 as usize] {
+                    seen[s.0 as usize] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &v)| !v)
+            .map(|(i, _)| BlockId(i as u32))
+            .collect()
+    }
+
+    /// Returns `true` if `b` is a control-flow join (at least two
+    /// predecessors) — the points where RES must form predecessor
+    /// hypotheses.
+    pub fn is_join(&self, b: BlockId) -> bool {
+        self.preds(b).len() >= 2
+    }
+}
+
+/// A call site: which block of which function calls (or spawns) a callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallSite {
+    /// Calling function.
+    pub caller: FuncId,
+    /// Block whose terminator performs the call (or, for spawns, the
+    /// block containing the spawn instruction).
+    pub block: BlockId,
+    /// `true` if this is a thread spawn rather than a call.
+    pub is_spawn: bool,
+}
+
+/// Whole-program call graph plus per-function CFGs.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    cfgs: Vec<Cfg>,
+    callers: HashMap<FuncId, Vec<CallSite>>,
+    returns: Vec<Vec<BlockId>>,
+}
+
+impl CallGraph {
+    /// Builds CFGs and the call graph for the whole program.
+    pub fn build(program: &Program) -> Self {
+        let cfgs = program.funcs.iter().map(Cfg::build).collect();
+        let mut callers: HashMap<FuncId, Vec<CallSite>> = HashMap::new();
+        let mut returns = Vec::with_capacity(program.funcs.len());
+        for (fid, func) in program.iter_funcs() {
+            let mut rets = Vec::new();
+            for (bid, block) in func.iter_blocks() {
+                match &block.terminator {
+                    Terminator::Call { func: callee, .. } => {
+                        callers.entry(*callee).or_default().push(CallSite {
+                            caller: fid,
+                            block: bid,
+                            is_spawn: false,
+                        });
+                    }
+                    Terminator::Return(_) => rets.push(bid),
+                    _ => {}
+                }
+                for inst in &block.insts {
+                    if let crate::inst::Inst::Spawn { func: callee, .. } = inst {
+                        callers.entry(*callee).or_default().push(CallSite {
+                            caller: fid,
+                            block: bid,
+                            is_spawn: true,
+                        });
+                    }
+                }
+            }
+            returns.push(rets);
+        }
+        CallGraph {
+            cfgs,
+            callers,
+            returns,
+        }
+    }
+
+    /// The CFG of a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn cfg(&self, f: FuncId) -> &Cfg {
+        &self.cfgs[f.0 as usize]
+    }
+
+    /// All sites that call or spawn `f`.
+    pub fn callers_of(&self, f: FuncId) -> &[CallSite] {
+        self.callers.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Blocks of `f` that end in `Return`.
+    pub fn returning_blocks(&self, f: FuncId) -> &[BlockId] {
+        &self.returns[f.0 as usize]
+    }
+
+    /// Functions transitively reachable from `from` through calls and
+    /// spawns.
+    pub fn reachable_funcs(&self, program: &Program, from: FuncId) -> HashSet<FuncId> {
+        let mut seen = HashSet::from([from]);
+        let mut queue = VecDeque::from([from]);
+        while let Some(f) = queue.pop_front() {
+            for block in &program.func(f).blocks {
+                let mut visit = |callee: FuncId| {
+                    if seen.insert(callee) {
+                        queue.push_back(callee);
+                    }
+                };
+                if let Terminator::Call { func: callee, .. } = &block.terminator {
+                    visit(*callee);
+                }
+                for inst in &block.insts {
+                    if let crate::inst::Inst::Spawn { func: callee, .. } = inst {
+                        visit(*callee);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{Operand, Reg};
+
+    /// A diamond: entry -> (then|else) -> join.
+    fn diamond() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare_func("main", 0);
+        let f = pb.func_mut(main);
+        let entry = f.block("entry");
+        let then_b = f.block("then");
+        let else_b = f.block("else");
+        let join = f.block("join");
+        f.select(entry);
+        f.mov(Reg(0), 1u64);
+        f.branch(Reg(0), then_b, else_b);
+        f.select(then_b);
+        f.jump(join);
+        f.select(else_b);
+        f.jump(join);
+        f.select(join);
+        f.halt();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_preds_and_joins() {
+        let p = diamond();
+        let cfg = Cfg::build(p.func(p.entry));
+        let join = p.func(p.entry).block_by_label("join").unwrap();
+        assert_eq!(cfg.preds(join).len(), 2);
+        assert!(cfg.is_join(join));
+        let entry = BlockId(0);
+        assert!(cfg.preds(entry).is_empty());
+        assert_eq!(cfg.succs(entry).len(), 2);
+        assert!(cfg.unreachable_blocks().is_empty());
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare_func("main", 0);
+        let f = pb.func_mut(main);
+        let entry = f.block("entry");
+        let dead = f.block("dead");
+        f.select(entry);
+        f.halt();
+        f.select(dead);
+        f.halt();
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(p.func(p.entry));
+        assert_eq!(cfg.unreachable_blocks(), vec![dead]);
+    }
+
+    #[test]
+    fn call_graph_tracks_callers_and_returns() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare_func("callee", 1);
+        {
+            let f = pb.func_mut(callee);
+            let e = f.block("entry");
+            f.select(e);
+            f.ret(Some(Operand::Reg(Reg(0))));
+        }
+        let main = pb.declare_func("main", 0);
+        {
+            let f = pb.func_mut(main);
+            let e = f.block("entry");
+            let c = f.block("cont");
+            f.select(e);
+            f.call(callee, vec![Operand::Imm(3)], Some(Reg(1)), c);
+            f.select(c);
+            f.halt();
+        }
+        let p = pb.finish().unwrap();
+        let cg = CallGraph::build(&p);
+        let sites = cg.callers_of(callee);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].caller, main);
+        assert!(!sites[0].is_spawn);
+        assert_eq!(cg.returning_blocks(callee), &[BlockId(0)]);
+        let reach = cg.reachable_funcs(&p, main);
+        assert!(reach.contains(&callee) && reach.contains(&main));
+    }
+
+    #[test]
+    fn spawn_recorded_as_caller() {
+        let mut pb = ProgramBuilder::new();
+        let worker = pb.declare_func("worker", 1);
+        {
+            let f = pb.func_mut(worker);
+            let e = f.block("entry");
+            f.select(e);
+            f.halt();
+        }
+        let main = pb.declare_func("main", 0);
+        {
+            let f = pb.func_mut(main);
+            let e = f.block("entry");
+            f.select(e);
+            f.spawn(Reg(0), worker, 0u64);
+            f.halt();
+        }
+        let p = pb.finish().unwrap();
+        let cg = CallGraph::build(&p);
+        let sites = cg.callers_of(worker);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].is_spawn);
+    }
+}

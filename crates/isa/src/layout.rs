@@ -1,0 +1,99 @@
+//! The MicroVM's fixed virtual-memory layout.
+//!
+//! Both the concrete interpreter (`mvm-machine`) and the reverse
+//! execution engine (`res-core`) need to agree on where globals, heap
+//! blocks, and thread stacks live, and to classify an arbitrary address
+//! into one of those regions when interpreting a coredump. Keeping the
+//! layout here, in the ISA crate, is what keeps them in sync.
+
+/// Base address of the globals segment.
+pub const GLOBAL_BASE: u64 = 0x1000_0000;
+
+/// Base address of the heap segment.
+pub const HEAP_BASE: u64 = 0x2000_0000;
+
+/// Exclusive upper bound of the heap segment.
+pub const HEAP_END: u64 = 0x4000_0000;
+
+/// Base address of the stack area; thread `t`'s stack occupies
+/// `[STACK_BASE + t*STACK_SIZE, STACK_BASE + (t+1)*STACK_SIZE)` and grows
+/// downward from its top.
+pub const STACK_BASE: u64 = 0x7000_0000;
+
+/// Per-thread stack reservation in bytes.
+pub const STACK_SIZE: u64 = 0x10_0000;
+
+/// Maximum number of threads the layout reserves stacks for.
+pub const MAX_THREADS: u64 = 64;
+
+/// Memory region classification used when interpreting raw addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Within the globals segment.
+    Global,
+    /// Within the heap segment.
+    Heap,
+    /// Within thread `tid`'s stack reservation.
+    Stack {
+        /// Owning thread id.
+        tid: u64,
+    },
+    /// Outside every mapped region; touching it faults.
+    Unmapped,
+}
+
+/// Classifies an address into its memory region.
+pub fn region_of(addr: u64) -> Region {
+    if (GLOBAL_BASE..HEAP_BASE).contains(&addr) {
+        Region::Global
+    } else if (HEAP_BASE..HEAP_END).contains(&addr) {
+        Region::Heap
+    } else if (STACK_BASE..STACK_BASE + MAX_THREADS * STACK_SIZE).contains(&addr) {
+        Region::Stack {
+            tid: (addr - STACK_BASE) / STACK_SIZE,
+        }
+    } else {
+        Region::Unmapped
+    }
+}
+
+/// The initial stack pointer for thread `tid` (top of its reservation,
+/// 16-byte aligned).
+pub fn stack_top(tid: u64) -> u64 {
+    STACK_BASE + (tid + 1) * STACK_SIZE - 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        assert!(GLOBAL_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < HEAP_END);
+        assert!(HEAP_END <= STACK_BASE);
+    }
+
+    #[test]
+    fn region_classification() {
+        assert_eq!(region_of(GLOBAL_BASE), Region::Global);
+        assert_eq!(region_of(HEAP_BASE), Region::Heap);
+        assert_eq!(region_of(HEAP_END - 1), Region::Heap);
+        assert_eq!(region_of(STACK_BASE), Region::Stack { tid: 0 });
+        assert_eq!(
+            region_of(STACK_BASE + STACK_SIZE),
+            Region::Stack { tid: 1 }
+        );
+        assert_eq!(region_of(0), Region::Unmapped);
+        assert_eq!(region_of(u64::MAX), Region::Unmapped);
+    }
+
+    #[test]
+    fn stack_tops_are_within_reservations() {
+        for tid in 0..4 {
+            let top = stack_top(tid);
+            assert_eq!(region_of(top), Region::Stack { tid });
+            assert_eq!(top % 16, 0);
+        }
+    }
+}

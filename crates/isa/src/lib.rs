@@ -1,0 +1,70 @@
+//! # MicroVM instruction set architecture
+//!
+//! `mvm-isa` defines the intermediate representation that the whole RES
+//! reproduction operates on: a small, RISC-like, register-based IR with
+//! explicit functions, basic blocks, and terminators. It plays the role
+//! LLVM bitcode played in the original HotOS'13 prototype — see
+//! `DESIGN.md` §1 for the substitution rationale.
+//!
+//! The crate provides:
+//!
+//! * the instruction set itself ([`Inst`], [`Terminator`], [`BinOp`], ...),
+//! * program containers ([`Program`], [`Function`], [`BasicBlock`],
+//!   [`Global`]) with a fixed virtual-memory layout ([`layout`]),
+//! * a builder API ([`ProgramBuilder`]) for constructing programs in code,
+//! * a text assembler ([`asm::assemble`]) for writing programs as text,
+//! * control-flow-graph utilities ([`cfg::Cfg`], [`cfg::CallGraph`]) used
+//!   by the reverse-execution engine to navigate backward, and
+//! * a validator ([`validate::validate`]) that rejects malformed programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvm_isa::{asm, cfg::Cfg};
+//!
+//! let program = asm::assemble(
+//!     r#"
+//!     func main() {
+//!     entry:
+//!         mov r0, 7
+//!         add r1, r0, 35
+//!         halt
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! let main = program.func_by_name("main").unwrap();
+//! let cfg = Cfg::build(program.func(main));
+//! assert_eq!(cfg.block_count(), 1);
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod cfg;
+pub mod inst;
+pub mod layout;
+pub mod program;
+pub mod validate;
+
+pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use inst::{
+    BinOp,
+    Channel,
+    InputKind,
+    Inst,
+    Operand,
+    Reg,
+    Terminator,
+    UnOp,
+    Width, //
+};
+pub use program::{
+    BasicBlock,
+    BlockId,
+    FuncId,
+    Function,
+    Global,
+    GlobalId,
+    Loc,
+    Program, //
+};

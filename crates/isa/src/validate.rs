@@ -1,0 +1,359 @@
+//! Structural validation of MicroVM programs.
+//!
+//! The RES engine assumes an *accurate* CFG (the paper's §6 explicitly
+//! scopes out corrupted control flow), so every program is validated
+//! before execution or analysis: block references must resolve, register
+//! indices must be in range, call arities must match, and the entry
+//! function must take no arguments.
+
+use crate::inst::{Inst, Operand, Reg, Terminator};
+use crate::program::{BlockId, FuncId, Program};
+
+/// An error found while validating a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The program has no entry function.
+    NoEntry,
+    /// The entry function must have arity 0.
+    EntryHasArgs,
+    /// A function has no blocks.
+    EmptyFunction {
+        /// Offending function.
+        func: FuncId,
+    },
+    /// A terminator references a block that does not exist.
+    DanglingBlock {
+        /// Function containing the reference.
+        func: FuncId,
+        /// Block whose terminator is bad.
+        block: BlockId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// A call or spawn references a function that does not exist.
+    DanglingFunc {
+        /// Function containing the reference.
+        func: FuncId,
+        /// Block containing the reference.
+        block: BlockId,
+    },
+    /// A call passes the wrong number of arguments.
+    ArityMismatch {
+        /// Caller.
+        func: FuncId,
+        /// Block containing the call.
+        block: BlockId,
+        /// Callee.
+        callee: FuncId,
+        /// Expected argument count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// A register index is out of range.
+    BadRegister {
+        /// Function containing the instruction.
+        func: FuncId,
+        /// Block containing the instruction.
+        block: BlockId,
+        /// The offending register.
+        reg: Reg,
+    },
+    /// A global reference does not resolve.
+    DanglingGlobal {
+        /// Function containing the reference.
+        func: FuncId,
+        /// Block containing the reference.
+        block: BlockId,
+    },
+    /// A spawned thread entry must have arity exactly 1.
+    SpawnArity {
+        /// Function containing the spawn.
+        func: FuncId,
+        /// Spawned entry function.
+        callee: FuncId,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::NoEntry => write!(f, "program has no entry function"),
+            ValidateError::EntryHasArgs => write!(f, "entry function must take no arguments"),
+            ValidateError::EmptyFunction { func } => {
+                write!(f, "function f{} has no blocks", func.0)
+            }
+            ValidateError::DanglingBlock { func, block, target } => write!(
+                f,
+                "f{}:b{} references missing block b{}",
+                func.0, block.0, target.0
+            ),
+            ValidateError::DanglingFunc { func, block } => {
+                write!(f, "f{}:b{} references a missing function", func.0, block.0)
+            }
+            ValidateError::ArityMismatch {
+                func,
+                block,
+                callee,
+                expected,
+                got,
+            } => write!(
+                f,
+                "f{}:b{} calls f{} with {got} args, expected {expected}",
+                func.0, block.0, callee.0
+            ),
+            ValidateError::BadRegister { func, block, reg } => {
+                write!(f, "f{}:b{} uses out-of-range register {reg}", func.0, block.0)
+            }
+            ValidateError::DanglingGlobal { func, block } => {
+                write!(f, "f{}:b{} references a missing global", func.0, block.0)
+            }
+            ValidateError::SpawnArity { func, callee } => write!(
+                f,
+                "f{} spawns f{}, which must have arity 1",
+                func.0, callee.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn check_reg(r: Reg, func: FuncId, block: BlockId) -> Result<(), ValidateError> {
+    if r.index() < Reg::COUNT {
+        Ok(())
+    } else {
+        Err(ValidateError::BadRegister { func, block, reg: r })
+    }
+}
+
+fn check_operand(op: Operand, func: FuncId, block: BlockId) -> Result<(), ValidateError> {
+    match op {
+        Operand::Reg(r) => check_reg(r, func, block),
+        Operand::Imm(_) => Ok(()),
+    }
+}
+
+/// Validates a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] encountered.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    if program.entry.0 as usize >= program.funcs.len() {
+        return Err(ValidateError::NoEntry);
+    }
+    if program.func(program.entry).arity != 0 {
+        return Err(ValidateError::EntryHasArgs);
+    }
+    for (fid, func) in program.iter_funcs() {
+        if func.blocks.is_empty() {
+            return Err(ValidateError::EmptyFunction { func: fid });
+        }
+        for (bid, block) in func.iter_blocks() {
+            for inst in &block.insts {
+                if let Some(d) = inst.def_reg() {
+                    check_reg(d, fid, bid)?;
+                }
+                for u in inst.used_regs() {
+                    check_reg(u, fid, bid)?;
+                }
+                match inst {
+                    Inst::AddrOf { global, .. } => {
+                        if global.0 as usize >= program.globals.len() {
+                            return Err(ValidateError::DanglingGlobal { func: fid, block: bid });
+                        }
+                    }
+                    Inst::Spawn { func: callee, .. } => {
+                        let Some(cf) = program.funcs.get(callee.0 as usize) else {
+                            return Err(ValidateError::DanglingFunc { func: fid, block: bid });
+                        };
+                        if cf.arity != 1 {
+                            return Err(ValidateError::SpawnArity {
+                                func: fid,
+                                callee: *callee,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let term = &block.terminator;
+            for u in term.used_regs() {
+                check_reg(u, fid, bid)?;
+            }
+            for target in term.successors() {
+                if target.0 as usize >= func.blocks.len() {
+                    return Err(ValidateError::DanglingBlock {
+                        func: fid,
+                        block: bid,
+                        target,
+                    });
+                }
+            }
+            if let Terminator::Call { func: callee, args, ret, .. } = term {
+                let Some(cf) = program.funcs.get(callee.0 as usize) else {
+                    return Err(ValidateError::DanglingFunc { func: fid, block: bid });
+                };
+                if cf.arity != args.len() {
+                    return Err(ValidateError::ArityMismatch {
+                        func: fid,
+                        block: bid,
+                        callee: *callee,
+                        expected: cf.arity,
+                        got: args.len(),
+                    });
+                }
+                for a in args {
+                    check_operand(*a, fid, bid)?;
+                }
+                if let Some(r) = ret {
+                    check_reg(*r, fid, bid)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Operand, Terminator};
+    use crate::program::{BasicBlock, Function, Global, GlobalId};
+
+    fn prog_with_main(blocks: Vec<BasicBlock>) -> Program {
+        let mut p = Program {
+            funcs: vec![Function {
+                name: "main".into(),
+                arity: 0,
+                blocks,
+            }],
+            globals: vec![Global {
+                name: "g".into(),
+                size: 8,
+                addr: 0,
+                init: vec![],
+            }],
+            entry: FuncId(0),
+        };
+        p.assign_addresses();
+        p
+    }
+
+    #[test]
+    fn valid_minimal_program() {
+        let p = prog_with_main(vec![BasicBlock {
+            label: "entry".into(),
+            insts: vec![],
+            terminator: Terminator::Halt,
+        }]);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn dangling_block_rejected() {
+        let p = prog_with_main(vec![BasicBlock {
+            label: "entry".into(),
+            insts: vec![],
+            terminator: Terminator::Jump(BlockId(9)),
+        }]);
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::DanglingBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let p = prog_with_main(vec![BasicBlock {
+            label: "entry".into(),
+            insts: vec![Inst::Mov {
+                dst: Reg(200),
+                src: Operand::Imm(0),
+            }],
+            terminator: Terminator::Halt,
+        }]);
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::BadRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_global_rejected() {
+        let p = prog_with_main(vec![BasicBlock {
+            label: "entry".into(),
+            insts: vec![Inst::AddrOf {
+                dst: Reg(0),
+                global: GlobalId(7),
+            }],
+            terminator: Terminator::Halt,
+        }]);
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::DanglingGlobal { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut p = prog_with_main(vec![BasicBlock {
+            label: "entry".into(),
+            insts: vec![],
+            terminator: Terminator::Call {
+                func: FuncId(1),
+                args: vec![],
+                ret: None,
+                cont: BlockId(0),
+            },
+        }]);
+        p.funcs.push(Function {
+            name: "callee".into(),
+            arity: 2,
+            blocks: vec![BasicBlock {
+                label: "entry".into(),
+                insts: vec![],
+                terminator: Terminator::Return(None),
+            }],
+        });
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::ArityMismatch { expected: 2, got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn entry_with_args_rejected() {
+        let mut p = prog_with_main(vec![BasicBlock {
+            label: "entry".into(),
+            insts: vec![],
+            terminator: Terminator::Halt,
+        }]);
+        p.funcs[0].arity = 1;
+        assert_eq!(validate(&p), Err(ValidateError::EntryHasArgs));
+    }
+
+    #[test]
+    fn spawn_arity_enforced() {
+        let mut p = prog_with_main(vec![BasicBlock {
+            label: "entry".into(),
+            insts: vec![Inst::Spawn {
+                dst: Reg(0),
+                func: FuncId(1),
+                arg: Operand::Imm(0),
+            }],
+            terminator: Terminator::Halt,
+        }]);
+        p.funcs.push(Function {
+            name: "worker".into(),
+            arity: 0,
+            blocks: vec![BasicBlock {
+                label: "entry".into(),
+                insts: vec![],
+                terminator: Terminator::Halt,
+            }],
+        });
+        assert!(matches!(validate(&p), Err(ValidateError::SpawnArity { .. })));
+    }
+}

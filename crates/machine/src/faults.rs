@@ -1,0 +1,230 @@
+//! Fault taxonomy: the ways an execution can die.
+//!
+//! Faults are the events that trigger coredump capture. The taxonomy is
+//! deliberately fine-grained *at the machine level* (the machine knows an
+//! access hit a redzone vs. a freed block) because tests use it as ground
+//! truth; a production kernel would report most of these as a bare
+//! SIGSEGV, so the *triaging* code never reads the fine-grained variant —
+//! it works from the coredump alone, like the paper's RES does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::thread::ThreadId;
+
+/// Whether a faulting access was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// A fatal execution fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Access to an address outside every mapped region, or outside any
+    /// live global/stack extent.
+    InvalidAccess {
+        /// Faulting address.
+        addr: u64,
+        /// Read or write.
+        kind: AccessKind,
+    },
+    /// Heap access outside every allocation's payload — landed in a
+    /// redzone or allocator slack (an out-of-bounds / overflow access).
+    HeapOverflow {
+        /// Faulting address.
+        addr: u64,
+        /// Base of the nearest allocation, if one exists.
+        near_base: Option<u64>,
+        /// Read or write.
+        kind: AccessKind,
+    },
+    /// Access to a heap block after it was freed.
+    UseAfterFree {
+        /// Faulting address.
+        addr: u64,
+        /// Base of the freed allocation.
+        base: u64,
+        /// Read or write.
+        kind: AccessKind,
+    },
+    /// `free` of an already-freed block.
+    DoubleFree {
+        /// Block base passed to free.
+        base: u64,
+    },
+    /// `free` of an address that is not a live allocation base.
+    InvalidFree {
+        /// The bogus address.
+        addr: u64,
+    },
+    /// Unsigned division or remainder by zero.
+    DivByZero,
+    /// An `assert` instruction saw a zero condition — a semantic bug.
+    AssertFailed {
+        /// Message from the assert.
+        msg: String,
+    },
+    /// Every live thread is blocked on a lock or join.
+    Deadlock {
+        /// The blocked threads.
+        threads: Vec<ThreadId>,
+    },
+    /// `unlock` of a mutex the thread does not own.
+    UnlockNotOwned {
+        /// Mutex address.
+        mutex: u64,
+    },
+    /// `join` of a thread id that was never spawned.
+    JoinUnknownThread {
+        /// The bogus thread id.
+        tid: u64,
+    },
+    /// Heap exhausted.
+    OutOfMemory,
+}
+
+impl Fault {
+    /// A short stable identifier for the fault class, used in reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Fault::InvalidAccess { .. } => "invalid-access",
+            Fault::HeapOverflow { .. } => "heap-overflow",
+            Fault::UseAfterFree { .. } => "use-after-free",
+            Fault::DoubleFree { .. } => "double-free",
+            Fault::InvalidFree { .. } => "invalid-free",
+            Fault::DivByZero => "div-by-zero",
+            Fault::AssertFailed { .. } => "assert-failed",
+            Fault::Deadlock { .. } => "deadlock",
+            Fault::UnlockNotOwned { .. } => "unlock-not-owned",
+            Fault::JoinUnknownThread { .. } => "join-unknown-thread",
+            Fault::OutOfMemory => "out-of-memory",
+        }
+    }
+
+    /// The address involved in the fault, when there is one.
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            Fault::InvalidAccess { addr, .. }
+            | Fault::HeapOverflow { addr, .. }
+            | Fault::UseAfterFree { addr, .. }
+            | Fault::InvalidFree { addr } => Some(*addr),
+            Fault::DoubleFree { base } => Some(*base),
+            Fault::UnlockNotOwned { mutex } => Some(*mutex),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for memory-safety faults (the classes the paper's
+    /// exploitability analysis cares about).
+    pub fn is_memory_safety(&self) -> bool {
+        matches!(
+            self,
+            Fault::InvalidAccess { .. }
+                | Fault::HeapOverflow { .. }
+                | Fault::UseAfterFree { .. }
+                | Fault::DoubleFree { .. }
+                | Fault::InvalidFree { .. }
+        )
+    }
+
+    /// What a production kernel would report for this fault: the
+    /// coarse-grained signal visible in a real coredump. Fine-grained
+    /// machine knowledge (redzone vs freed block) is erased.
+    pub fn as_signal(&self) -> &'static str {
+        match self {
+            Fault::InvalidAccess { .. }
+            | Fault::HeapOverflow { .. }
+            | Fault::UseAfterFree { .. } => "SIGSEGV",
+            Fault::DoubleFree { .. } | Fault::InvalidFree { .. } | Fault::OutOfMemory => "SIGABRT",
+            Fault::DivByZero => "SIGFPE",
+            Fault::AssertFailed { .. } => "SIGABRT",
+            Fault::Deadlock { .. } => "HANG",
+            Fault::UnlockNotOwned { .. } | Fault::JoinUnknownThread { .. } => "SIGABRT",
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::InvalidAccess { addr, kind } => {
+                write!(f, "invalid {kind:?} at {addr:#x}")
+            }
+            Fault::HeapOverflow { addr, near_base, kind } => match near_base {
+                Some(b) => write!(f, "heap overflow {kind:?} at {addr:#x} (near block {b:#x})"),
+                None => write!(f, "heap overflow {kind:?} at {addr:#x}"),
+            },
+            Fault::UseAfterFree { addr, base, kind } => {
+                write!(f, "use-after-free {kind:?} at {addr:#x} (block {base:#x})")
+            }
+            Fault::DoubleFree { base } => write!(f, "double free of {base:#x}"),
+            Fault::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            Fault::DivByZero => write!(f, "division by zero"),
+            Fault::AssertFailed { msg } => write!(f, "assertion failed: {msg}"),
+            Fault::Deadlock { threads } => write!(f, "deadlock among {threads:?}"),
+            Fault::UnlockNotOwned { mutex } => write!(f, "unlock of unowned mutex {mutex:#x}"),
+            Fault::JoinUnknownThread { tid } => write!(f, "join of unknown thread {tid}"),
+            Fault::OutOfMemory => write!(f, "out of memory"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_distinct_for_memory_bugs() {
+        let f1 = Fault::HeapOverflow {
+            addr: 0x2000_0010,
+            near_base: Some(0x2000_0000),
+            kind: AccessKind::Write,
+        };
+        let f2 = Fault::UseAfterFree {
+            addr: 0x2000_0010,
+            base: 0x2000_0000,
+            kind: AccessKind::Read,
+        };
+        assert_ne!(f1.class(), f2.class());
+        assert!(f1.is_memory_safety() && f2.is_memory_safety());
+        assert!(!Fault::DivByZero.is_memory_safety());
+    }
+
+    #[test]
+    fn signals_erase_fine_detail() {
+        let overflow = Fault::HeapOverflow {
+            addr: 1,
+            near_base: None,
+            kind: AccessKind::Write,
+        };
+        let uaf = Fault::UseAfterFree {
+            addr: 1,
+            base: 0,
+            kind: AccessKind::Read,
+        };
+        assert_eq!(overflow.as_signal(), "SIGSEGV");
+        assert_eq!(uaf.as_signal(), "SIGSEGV");
+    }
+
+    #[test]
+    fn addr_extraction() {
+        assert_eq!(
+            Fault::InvalidAccess {
+                addr: 0xdead,
+                kind: AccessKind::Read
+            }
+            .addr(),
+            Some(0xdead)
+        );
+        assert_eq!(Fault::DivByZero.addr(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Fault::AssertFailed { msg: "x > 0".into() }.to_string();
+        assert!(s.contains("x > 0"));
+    }
+}

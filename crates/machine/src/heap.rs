@@ -1,0 +1,394 @@
+//! Heap allocator with redzones and a free quarantine.
+//!
+//! The allocator is a bump allocator over the heap segment with:
+//!
+//! * a **redzone** of [`REDZONE`] bytes on each side of every payload, so
+//!   small overflows land in allocator-owned guard space and fault at the
+//!   offending access (ASan-style), and
+//! * a **quarantine**: freed blocks are never reused, so any later access
+//!   to them is unambiguously a use-after-free.
+//!
+//! Both choices trade address-space for *diagnosability*: the machine is
+//! an experimental substrate whose job is to make the ground truth of a
+//! memory bug observable, not to be a fast malloc.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mvm_isa::layout;
+
+use crate::faults::{AccessKind, Fault};
+
+/// Guard bytes placed before and after each allocation payload.
+pub const REDZONE: u64 = 16;
+
+/// Lifecycle state of an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocState {
+    /// Payload may be read and written.
+    Live,
+    /// Block was freed; any access is a use-after-free.
+    Freed,
+}
+
+/// Metadata for one heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocMeta {
+    /// Payload base address (after the leading redzone).
+    pub base: u64,
+    /// Payload size in bytes as requested.
+    pub size: u64,
+    /// Live or freed.
+    pub state: AllocState,
+}
+
+/// The heap: bump allocation, per-block metadata, no reuse.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Heap {
+    cursor: u64,
+    /// Metadata keyed by payload base, ordered for range queries.
+    allocs: BTreeMap<u64, AllocMeta>,
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Heap {
+    /// Creates an empty heap at the start of the heap segment.
+    pub fn new() -> Self {
+        Heap {
+            cursor: layout::HEAP_BASE,
+            allocs: BTreeMap::new(),
+        }
+    }
+
+    /// Allocates `size` payload bytes (zero-size rounds up to 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::OutOfMemory`] when the segment is exhausted.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, Fault> {
+        let size = size.max(1);
+        let total = REDZONE + size + REDZONE;
+        let aligned_total = (total + 15) & !15;
+        if self.cursor.checked_add(aligned_total).is_none()
+            || self.cursor + aligned_total > layout::HEAP_END
+        {
+            return Err(Fault::OutOfMemory);
+        }
+        let base = self.cursor + REDZONE;
+        self.cursor += aligned_total;
+        self.allocs.insert(
+            base,
+            AllocMeta {
+                base,
+                size,
+                state: AllocState::Live,
+            },
+        );
+        Ok(base)
+    }
+
+    /// Frees the block whose payload begins at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::DoubleFree`] for an already-freed base and
+    /// [`Fault::InvalidFree`] for an address that is not a block base.
+    pub fn free(&mut self, addr: u64) -> Result<(), Fault> {
+        match self.allocs.get_mut(&addr) {
+            Some(meta) if meta.state == AllocState::Live => {
+                meta.state = AllocState::Freed;
+                Ok(())
+            }
+            Some(_) => Err(Fault::DoubleFree { base: addr }),
+            None => Err(Fault::InvalidFree { addr }),
+        }
+    }
+
+    /// Checks whether an access of `len` bytes at `addr` is legal heap
+    /// usage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the precise memory-safety fault the access commits:
+    /// use-after-free, overflow into a redzone, or a touch of
+    /// never-allocated heap space.
+    pub fn check_access(&self, addr: u64, len: u64, kind: AccessKind) -> Result<(), Fault> {
+        let end = addr.wrapping_add(len.max(1));
+        // Find the allocation whose payload or vicinity contains `addr`:
+        // the greatest base <= addr+REDZONE covers leading-redzone hits.
+        let candidate = self
+            .allocs
+            .range(..=addr.wrapping_add(REDZONE))
+            .next_back()
+            .map(|(_, m)| *m);
+        if let Some(meta) = candidate {
+            let payload_end = meta.base + meta.size;
+            if addr >= meta.base && end <= payload_end {
+                return match meta.state {
+                    AllocState::Live => Ok(()),
+                    AllocState::Freed => Err(Fault::UseAfterFree {
+                        addr,
+                        base: meta.base,
+                        kind,
+                    }),
+                };
+            }
+            // Within the block's guarded envelope but outside payload:
+            // an overflow/underflow relative to this block.
+            let env_start = meta.base - REDZONE;
+            let env_end = payload_end + REDZONE;
+            if addr >= env_start && addr < env_end {
+                // Accesses straddling the payload boundary also land here.
+                if meta.state == AllocState::Freed && addr >= meta.base && addr < payload_end {
+                    return Err(Fault::UseAfterFree {
+                        addr,
+                        base: meta.base,
+                        kind,
+                    });
+                }
+                return Err(Fault::HeapOverflow {
+                    addr,
+                    near_base: Some(meta.base),
+                    kind,
+                });
+            }
+        }
+        Err(Fault::HeapOverflow {
+            addr,
+            near_base: candidate.map(|m| m.base),
+            kind,
+        })
+    }
+
+    /// Metadata of the allocation containing `addr` (live or freed), if
+    /// any.
+    pub fn alloc_containing(&self, addr: u64) -> Option<AllocMeta> {
+        let (_, meta) = self.allocs.range(..=addr).next_back()?;
+        (addr >= meta.base && addr < meta.base + meta.size).then_some(*meta)
+    }
+
+    /// All allocation metadata in address order.
+    pub fn iter_allocs(&self) -> impl Iterator<Item = &AllocMeta> {
+        self.allocs.values()
+    }
+
+    /// Number of allocations ever made.
+    pub fn alloc_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Bytes of heap address space consumed so far.
+    pub fn used(&self) -> u64 {
+        self.cursor - layout::HEAP_BASE
+    }
+
+    /// Replaces the allocator state wholesale — the RES replayer uses
+    /// this to reconstruct, from coredump metadata, the heap as it stood
+    /// at the start of a synthesized suffix.
+    ///
+    /// The bump cursor is positioned just past the largest installed
+    /// envelope (or at the heap base when empty), so subsequent
+    /// allocations are deterministic given the installed set.
+    pub fn install(&mut self, allocs: impl IntoIterator<Item = AllocMeta>) {
+        self.allocs.clear();
+        let mut cursor = layout::HEAP_BASE;
+        for meta in allocs {
+            let env_end = meta.base + meta.size + REDZONE;
+            let aligned = (env_end + 15) & !15;
+            cursor = cursor.max(aligned);
+            self.allocs.insert(meta.base, meta);
+        }
+        self.cursor = cursor;
+    }
+
+    /// Forces one allocation's lifecycle state (replay bootstrap for
+    /// suffixes that free or allocate inside the replayed window).
+    pub fn set_state(&mut self, base: u64, state: AllocState) -> bool {
+        match self.allocs.get_mut(&base) {
+            Some(m) => {
+                m.state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes an allocation record entirely and rewinds the bump cursor
+    /// to just past the remaining envelopes, so that re-executing the
+    /// removed `alloc`s (newest-allocated removed first) reproduces their
+    /// addresses.
+    pub fn remove_alloc(&mut self, base: u64) -> Option<AllocMeta> {
+        let removed = self.allocs.remove(&base)?;
+        self.cursor = self
+            .allocs
+            .values()
+            .map(|m| (m.base + m.size + REDZONE + 15) & !15)
+            .max()
+            .unwrap_or(layout::HEAP_BASE);
+        Some(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_disjoint_payloads() {
+        let mut h = Heap::new();
+        let a = h.alloc(32).unwrap();
+        let b = h.alloc(32).unwrap();
+        assert!(b >= a + 32 + 2 * REDZONE - REDZONE);
+        assert_ne!(a, b);
+        assert!(h.check_access(a, 32, AccessKind::Write).is_ok());
+        assert!(h.check_access(b, 32, AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    fn overflow_into_redzone_detected() {
+        let mut h = Heap::new();
+        let a = h.alloc(16).unwrap();
+        let e = h.check_access(a + 16, 1, AccessKind::Write).unwrap_err();
+        assert!(matches!(
+            e,
+            Fault::HeapOverflow {
+                near_base: Some(b),
+                ..
+            } if b == a
+        ));
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut h = Heap::new();
+        let a = h.alloc(16).unwrap();
+        let e = h.check_access(a - 1, 1, AccessKind::Read).unwrap_err();
+        assert!(matches!(e, Fault::HeapOverflow { .. }));
+    }
+
+    #[test]
+    fn straddling_end_detected() {
+        let mut h = Heap::new();
+        let a = h.alloc(16).unwrap();
+        // 8-byte access starting at the last payload byte.
+        let e = h.check_access(a + 15, 8, AccessKind::Write).unwrap_err();
+        assert!(matches!(e, Fault::HeapOverflow { .. }));
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let mut h = Heap::new();
+        let a = h.alloc(16).unwrap();
+        h.free(a).unwrap();
+        let e = h.check_access(a, 8, AccessKind::Read).unwrap_err();
+        assert!(matches!(e, Fault::UseAfterFree { base, .. } if base == a));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut h = Heap::new();
+        let a = h.alloc(16).unwrap();
+        h.free(a).unwrap();
+        assert!(matches!(h.free(a), Err(Fault::DoubleFree { base }) if base == a));
+    }
+
+    #[test]
+    fn invalid_free_detected() {
+        let mut h = Heap::new();
+        let a = h.alloc(16).unwrap();
+        assert!(matches!(h.free(a + 4), Err(Fault::InvalidFree { .. })));
+        assert!(matches!(h.free(0x2345_0000), Err(Fault::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn never_allocated_heap_access_faults() {
+        let h = Heap::new();
+        assert!(h.check_access(layout::HEAP_BASE + 100, 8, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn zero_size_alloc_is_usable() {
+        let mut h = Heap::new();
+        let a = h.alloc(0).unwrap();
+        assert!(h.check_access(a, 1, AccessKind::Write).is_ok());
+    }
+
+    #[test]
+    fn alloc_containing_lookup() {
+        let mut h = Heap::new();
+        let a = h.alloc(16).unwrap();
+        assert_eq!(h.alloc_containing(a + 8).unwrap().base, a);
+        assert!(h.alloc_containing(a + 16).is_none());
+        assert!(h.alloc_containing(a - 1).is_none());
+    }
+
+    #[test]
+    fn out_of_memory_when_exhausted() {
+        let mut h = Heap::new();
+        assert!(matches!(
+            h.alloc(layout::HEAP_END - layout::HEAP_BASE),
+            Err(Fault::OutOfMemory)
+        ));
+    }
+
+    #[test]
+    fn freed_blocks_are_not_reused() {
+        let mut h = Heap::new();
+        let a = h.alloc(64).unwrap();
+        h.free(a).unwrap();
+        let b = h.alloc(64).unwrap();
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod install_tests {
+    use super::*;
+
+    #[test]
+    fn install_positions_cursor_for_deterministic_realloc() {
+        let mut h1 = Heap::new();
+        let a = h1.alloc(16).unwrap();
+        let b = h1.alloc(24).unwrap();
+        let c = h1.alloc(8).unwrap();
+        // Rebuild a heap holding only the first two allocations; the
+        // third must land at the same address when re-executed.
+        let metas: Vec<AllocMeta> = h1
+            .iter_allocs()
+            .filter(|m| m.base != c)
+            .copied()
+            .collect();
+        let mut h2 = Heap::new();
+        h2.install(metas);
+        assert_eq!(h2.alloc(8).unwrap(), c);
+        assert_eq!(h2.alloc_containing(a).unwrap().base, a);
+        assert_eq!(h2.alloc_containing(b).unwrap().base, b);
+    }
+
+    #[test]
+    fn remove_alloc_rewinds_cursor() {
+        let mut h = Heap::new();
+        let _a = h.alloc(16).unwrap();
+        let b = h.alloc(32).unwrap();
+        let removed = h.remove_alloc(b).unwrap();
+        assert_eq!(removed.size, 32);
+        assert_eq!(h.alloc(32).unwrap(), b);
+        assert!(h.remove_alloc(0xdead).is_none());
+    }
+
+    #[test]
+    fn set_state_flips_lifecycle() {
+        let mut h = Heap::new();
+        let a = h.alloc(16).unwrap();
+        h.free(a).unwrap();
+        assert!(h.set_state(a, AllocState::Live));
+        assert!(h.check_access(a, 8, AccessKind::Read).is_ok());
+        assert!(!h.set_state(0x123, AllocState::Live));
+    }
+}

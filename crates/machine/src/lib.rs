@@ -1,0 +1,46 @@
+//! # MicroVM concrete interpreter
+//!
+//! `mvm-machine` executes [`mvm_isa`] programs deterministically: a
+//! multi-threaded interpreter with a controllable scheduler, a heap with
+//! redzones and a free quarantine (so memory-safety bugs fault at the
+//! access that commits them), lock-based synchronization with deadlock
+//! detection, and external inputs/outputs.
+//!
+//! It stands in for the "production system" of the HotOS'13 RES paper:
+//! it is where failures happen and coredumps come from. Two properties
+//! matter for the reproduction:
+//!
+//! 1. **Determinism under a pinned schedule.** Given the same input
+//!    source and the same scheduler decisions, execution is bit-for-bit
+//!    reproducible — this is what lets the RES replayer (paper §2.1)
+//!    "slip an environment underneath the debugger" and re-run a
+//!    synthesized suffix deterministically.
+//! 2. **No recording by default.** The machine optionally produces
+//!    ground-truth traces and record-replay logs, but only for the
+//!    baselines and for test oracles; RES itself consumes nothing but the
+//!    post-failure snapshot (plus free breadcrumbs such as the LBR ring,
+//!    paper §2.4).
+
+pub mod breadcrumbs;
+pub mod exec;
+pub mod faults;
+pub mod heap;
+pub mod mem;
+pub mod sched;
+pub mod thread;
+pub mod trace;
+
+pub use breadcrumbs::{LbrEntry, LbrRing, LogRecord};
+pub use exec::{
+    InputSource,
+    Machine,
+    MachineConfig,
+    Outcome,
+    OutputRecord, //
+};
+pub use faults::{AccessKind, Fault};
+pub use heap::{AllocMeta, AllocState, Heap};
+pub use mem::Memory;
+pub use sched::SchedPolicy;
+pub use thread::{Frame, ThreadId, ThreadState, ThreadStatus};
+pub use trace::{TraceEvent, TraceLevel, Tracer};

@@ -1,0 +1,191 @@
+//! Deterministic thread scheduling policies.
+//!
+//! Every policy is a pure function of its own state plus the runnable
+//! set, so a given `(program, inputs, policy)` triple always produces the
+//! same execution — the property every experiment in this repo leans on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::thread::ThreadId;
+
+/// A scheduling policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Run each thread for `quantum` steps, then rotate.
+    RoundRobin {
+        /// Steps per turn; must be at least 1.
+        quantum: u64,
+    },
+    /// Seeded pseudo-random preemption: after each step, switch to a
+    /// uniformly chosen runnable thread with probability
+    /// `switch_per_mille / 1000`. Used by the workload corpus generator
+    /// to explore interleavings.
+    Random {
+        /// PRNG seed.
+        seed: u64,
+        /// Switch probability in per-mille (0..=1000).
+        switch_per_mille: u32,
+    },
+    /// Follow an explicit `(tid, steps)` script, then fall back to
+    /// round-robin with quantum 1. Used to replay executions.
+    Scripted {
+        /// Segments to execute in order.
+        segments: Vec<(ThreadId, u64)>,
+    },
+}
+
+impl SchedPolicy {
+    /// Round-robin with a 1-step quantum — maximally interleaved.
+    pub fn round_robin() -> Self {
+        SchedPolicy::RoundRobin { quantum: 1 }
+    }
+}
+
+/// Scheduler runtime state.
+#[derive(Debug, Clone)]
+pub(crate) struct Scheduler {
+    policy: SchedPolicy,
+    current: ThreadId,
+    steps_in_quantum: u64,
+    script_pos: usize,
+    script_used: u64,
+    rng_state: u64,
+}
+
+impl Scheduler {
+    pub(crate) fn new(policy: SchedPolicy) -> Self {
+        let rng_state = match &policy {
+            SchedPolicy::Random { seed, .. } => seed | 1,
+            _ => 1,
+        };
+        Scheduler {
+            policy,
+            current: 0,
+            steps_in_quantum: 0,
+            script_pos: 0,
+            script_used: 0,
+            rng_state,
+        }
+    }
+
+    /// xorshift64* — small, fast, deterministic.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Picks the next thread to run from `runnable` (must be non-empty,
+    /// sorted ascending).
+    pub(crate) fn pick(&mut self, runnable: &[ThreadId]) -> ThreadId {
+        debug_assert!(!runnable.is_empty());
+        let pick_next_after = |cur: ThreadId, set: &[ThreadId]| -> ThreadId {
+            set.iter().copied().find(|&t| t > cur).unwrap_or(set[0])
+        };
+        let picked = match &self.policy {
+            SchedPolicy::RoundRobin { quantum } => {
+                let quantum = (*quantum).max(1);
+                if runnable.contains(&self.current) && self.steps_in_quantum < quantum {
+                    self.steps_in_quantum += 1;
+                    self.current
+                } else {
+                    self.steps_in_quantum = 1;
+                    pick_next_after(self.current, runnable)
+                }
+            }
+            SchedPolicy::Random { switch_per_mille, .. } => {
+                let p = (*switch_per_mille).min(1000) as u64;
+                let stay = runnable.contains(&self.current) && self.next_rand() % 1000 >= p;
+                if stay {
+                    self.current
+                } else {
+                    let idx = (self.next_rand() % runnable.len() as u64) as usize;
+                    runnable[idx]
+                }
+            }
+            SchedPolicy::Scripted { segments } => {
+                // Advance past exhausted or unrunnable segments.
+                loop {
+                    match segments.get(self.script_pos) {
+                        Some(&(tid, steps)) => {
+                            if self.script_used >= steps || !runnable.contains(&tid) {
+                                self.script_pos += 1;
+                                self.script_used = 0;
+                                continue;
+                            }
+                            self.script_used += 1;
+                            break tid;
+                        }
+                        None => {
+                            // Script exhausted: fall back to round-robin 1.
+                            break pick_next_after(self.current, runnable);
+                        }
+                    }
+                }
+            }
+        };
+        self.current = picked;
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_with_quantum() {
+        let mut s = Scheduler::new(SchedPolicy::RoundRobin { quantum: 2 });
+        let r = [0, 1, 2];
+        let picks: Vec<ThreadId> = (0..8).map(|_| s.pick(&r)).collect();
+        assert_eq!(picks, vec![0, 0, 1, 1, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_unrunnable() {
+        let mut s = Scheduler::new(SchedPolicy::round_robin());
+        assert_eq!(s.pick(&[0, 2]), 0);
+        assert_eq!(s.pick(&[0, 2]), 2);
+        assert_eq!(s.pick(&[2]), 2);
+        assert_eq!(s.pick(&[0, 1]), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let picks = |seed| {
+            let mut s = Scheduler::new(SchedPolicy::Random {
+                seed,
+                switch_per_mille: 500,
+            });
+            (0..32).map(|_| s.pick(&[0, 1, 2, 3])).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    fn scripted_follows_segments_then_falls_back() {
+        let mut s = Scheduler::new(SchedPolicy::Scripted {
+            segments: vec![(1, 2), (0, 1)],
+        });
+        let r = [0, 1];
+        assert_eq!(s.pick(&r), 1);
+        assert_eq!(s.pick(&r), 1);
+        assert_eq!(s.pick(&r), 0);
+        // Fallback round-robin.
+        assert_eq!(s.pick(&r), 1);
+        assert_eq!(s.pick(&r), 0);
+    }
+
+    #[test]
+    fn scripted_skips_unrunnable_segment() {
+        let mut s = Scheduler::new(SchedPolicy::Scripted {
+            segments: vec![(5, 3), (0, 1)],
+        });
+        // Thread 5 is not runnable; the scheduler must not spin on it.
+        assert_eq!(s.pick(&[0]), 0);
+    }
+}

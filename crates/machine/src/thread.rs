@@ -1,0 +1,179 @@
+//! Thread state: register frames, call stacks, and scheduling status.
+
+use serde::{Deserialize, Serialize};
+
+use mvm_isa::{layout, BlockId, FuncId, Loc, Reg};
+
+/// A thread identifier; the main thread is 0.
+pub type ThreadId = u64;
+
+/// One call-stack frame.
+///
+/// The MicroVM calling convention saves the *entire* register file per
+/// frame (callee gets fresh registers, caller's are restored on return),
+/// so a coredump's stack walk recovers every frame's registers exactly —
+/// the "accurate stack" the paper's prototype requires (§6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Function this frame executes.
+    pub func: FuncId,
+    /// Current block.
+    pub block: BlockId,
+    /// Next instruction index within the block (`insts.len()` addresses
+    /// the terminator).
+    pub inst: u32,
+    /// The frame's register file.
+    pub regs: Vec<u64>,
+    /// Caller register that receives the return value, if any.
+    pub ret_reg: Option<Reg>,
+}
+
+impl Frame {
+    /// Creates a frame at a function's entry with zeroed registers.
+    pub fn at_entry(func: FuncId) -> Self {
+        Frame {
+            func,
+            block: BlockId(0),
+            inst: 0,
+            regs: vec![0; Reg::COUNT],
+            ret_reg: None,
+        }
+    }
+
+    /// The frame's current code location.
+    pub fn loc(&self) -> Loc {
+        Loc {
+            func: self.func,
+            block: self.block,
+            inst: self.inst,
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+}
+
+/// Why a thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadStatus {
+    /// Ready to execute.
+    Runnable,
+    /// Waiting to acquire the mutex at this address.
+    BlockedOnLock(u64),
+    /// Waiting for another thread to halt.
+    BlockedOnJoin(ThreadId),
+    /// Finished normally.
+    Halted,
+}
+
+impl ThreadStatus {
+    /// Returns `true` if the thread can be scheduled.
+    pub fn is_runnable(self) -> bool {
+        self == ThreadStatus::Runnable
+    }
+
+    /// Returns `true` if the thread is blocked on a lock or join.
+    pub fn is_blocked(self) -> bool {
+        matches!(
+            self,
+            ThreadStatus::BlockedOnLock(_) | ThreadStatus::BlockedOnJoin(_)
+        )
+    }
+}
+
+/// Full per-thread execution state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadState {
+    /// This thread's id.
+    pub tid: ThreadId,
+    /// Call stack; the last frame is the active one.
+    pub frames: Vec<Frame>,
+    /// Scheduling status.
+    pub status: ThreadStatus,
+    /// How many `Input` instructions this thread has executed (indexes
+    /// scripted input streams during replay).
+    pub inputs_consumed: u64,
+}
+
+impl ThreadState {
+    /// Creates a thread at `func`'s entry with `arg` in `r0` and the
+    /// stack pointer convention register `r31` set to the thread's stack
+    /// top.
+    pub fn spawned(tid: ThreadId, func: FuncId, arg: u64) -> Self {
+        let mut frame = Frame::at_entry(func);
+        frame.set_reg(Reg(0), arg);
+        frame.set_reg(Reg(31), layout::stack_top(tid));
+        ThreadState {
+            tid,
+            frames: vec![frame],
+            status: ThreadStatus::Runnable,
+            inputs_consumed: 0,
+        }
+    }
+
+    /// The active (innermost) frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has halted and its frames were drained; the
+    /// interpreter never calls this on halted threads.
+    pub fn top(&self) -> &Frame {
+        self.frames.last().expect("thread has no frames")
+    }
+
+    /// Mutable access to the active frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has no frames (halted).
+    pub fn top_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("thread has no frames")
+    }
+
+    /// The thread's current program counter.
+    pub fn pc(&self) -> Loc {
+        self.top().loc()
+    }
+
+    /// Call-stack depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawned_thread_has_arg_and_stack_pointer() {
+        let t = ThreadState::spawned(2, FuncId(3), 99);
+        assert_eq!(t.top().reg(Reg(0)), 99);
+        assert_eq!(t.top().reg(Reg(31)), layout::stack_top(2));
+        assert_eq!(t.pc(), Loc::block_start(FuncId(3), BlockId(0)));
+        assert!(t.status.is_runnable());
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(ThreadStatus::BlockedOnLock(5).is_blocked());
+        assert!(ThreadStatus::BlockedOnJoin(1).is_blocked());
+        assert!(!ThreadStatus::Halted.is_blocked());
+        assert!(!ThreadStatus::Halted.is_runnable());
+    }
+
+    #[test]
+    fn frame_register_access() {
+        let mut f = Frame::at_entry(FuncId(0));
+        f.set_reg(Reg(7), 42);
+        assert_eq!(f.reg(Reg(7)), 42);
+        assert_eq!(f.reg(Reg(8)), 0);
+    }
+}

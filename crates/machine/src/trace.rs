@@ -1,0 +1,213 @@
+//! Optional execution tracing.
+//!
+//! Traces serve two consumers, *neither of which is RES itself* (RES
+//! sees only the coredump): test oracles that compare a synthesized
+//! suffix against what actually happened, and the record-replay baseline
+//! (E8) that accounts for how many bytes an always-on recorder would
+//! have to log.
+
+use serde::{Deserialize, Serialize};
+
+use mvm_isa::{Loc, Width};
+
+use crate::faults::AccessKind;
+use crate::thread::ThreadId;
+
+/// How much to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Record nothing (production mode — what RES assumes).
+    Off,
+    /// Record one event per basic block entered.
+    Blocks,
+    /// Record every instruction, memory access, input, and sync op.
+    Full,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A thread entered a basic block.
+    BlockEnter {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Block location (inst is 0).
+        loc: Loc,
+        /// Global step counter at entry.
+        step: u64,
+    },
+    /// A memory access.
+    Mem {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Instruction location.
+        loc: Loc,
+        /// Read or write.
+        kind: AccessKind,
+        /// Accessed address.
+        addr: u64,
+        /// Value read or written.
+        value: u64,
+        /// Access width.
+        width: Width,
+    },
+    /// An external input was consumed.
+    Input {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Instruction location.
+        loc: Loc,
+        /// The value delivered.
+        value: u64,
+    },
+    /// A heap block was allocated.
+    Alloc {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Instruction location.
+        loc: Loc,
+        /// Payload base returned.
+        base: u64,
+        /// Requested size.
+        size: u64,
+    },
+    /// A heap block was freed.
+    Free {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Instruction location.
+        loc: Loc,
+        /// Payload base freed.
+        base: u64,
+    },
+    /// A lock was acquired or released.
+    Sync {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Instruction location.
+        loc: Loc,
+        /// Mutex address.
+        mutex: u64,
+        /// `true` for acquire, `false` for release.
+        acquire: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The thread the event belongs to.
+    pub fn tid(&self) -> ThreadId {
+        match self {
+            TraceEvent::BlockEnter { tid, .. }
+            | TraceEvent::Mem { tid, .. }
+            | TraceEvent::Input { tid, .. }
+            | TraceEvent::Alloc { tid, .. }
+            | TraceEvent::Free { tid, .. }
+            | TraceEvent::Sync { tid, .. } => *tid,
+        }
+    }
+}
+
+/// Collects trace events at a configured level.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    level: TraceLevel,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates a tracer at the given level.
+    pub fn new(level: TraceLevel) -> Self {
+        Tracer {
+            level,
+            events: Vec::new(),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Records a block-entry event (at `Blocks` or `Full`).
+    pub fn block_enter(&mut self, tid: ThreadId, loc: Loc, step: u64) {
+        if matches!(self.level, TraceLevel::Blocks | TraceLevel::Full) {
+            self.events.push(TraceEvent::BlockEnter { tid, loc, step });
+        }
+    }
+
+    /// Records a fine-grained event (only at `Full`).
+    pub fn fine(&mut self, ev: TraceEvent) {
+        if self.level == TraceLevel::Full {
+            self.events.push(ev);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The block-granular schedule: `(tid, loc)` per block entered.
+    pub fn block_schedule(&self) -> Vec<(ThreadId, Loc)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BlockEnter { tid, loc, .. } => Some((*tid, *loc)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvm_isa::{BlockId, FuncId};
+
+    fn loc(b: u32) -> Loc {
+        Loc {
+            func: FuncId(0),
+            block: BlockId(b),
+            inst: 0,
+        }
+    }
+
+    #[test]
+    fn off_records_nothing() {
+        let mut t = Tracer::new(TraceLevel::Off);
+        t.block_enter(0, loc(0), 0);
+        t.fine(TraceEvent::Input {
+            tid: 0,
+            loc: loc(0),
+            value: 1,
+        });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn blocks_level_skips_fine_events() {
+        let mut t = Tracer::new(TraceLevel::Blocks);
+        t.block_enter(0, loc(0), 0);
+        t.fine(TraceEvent::Input {
+            tid: 0,
+            loc: loc(0),
+            value: 1,
+        });
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.block_schedule(), vec![(0, loc(0))]);
+    }
+
+    #[test]
+    fn full_level_records_everything() {
+        let mut t = Tracer::new(TraceLevel::Full);
+        t.block_enter(1, loc(2), 5);
+        t.fine(TraceEvent::Sync {
+            tid: 1,
+            loc: loc(2),
+            mutex: 0x10,
+            acquire: true,
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].tid(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Debugging aids on top of the suffix (paper §3.3).
+//!
+//! "Since it computes the read and write sets of the execution suffix,
+//! RES automatically focuses developers' attention on the recently read
+//! or written state. [...] RES could also be used to automate the
+//! testing of various hypotheses formulated during debugging, such as
+//! 'what was the program state when the program was executing at program
+//! counter X', or 'was a thread T preempted before updating shared
+//! memory location M?'"
+
+use mvm_core::Coredump;
+use mvm_isa::{layout, Loc, Program, Width};
+use mvm_machine::{ThreadId, TraceLevel};
+
+use crate::replay::instantiate;
+use crate::suffix::ExecutionSuffix;
+
+/// A region-annotated address from the suffix's read/write sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FocusEntry {
+    /// Address.
+    pub addr: u64,
+    /// Access width.
+    pub width: Width,
+    /// Human-readable region ("global", "heap", "stack(t)").
+    pub region: String,
+}
+
+/// The §3.3 "focus report": what the failing window actually touched,
+/// annotated by region — usually a tiny fraction of the coredump.
+pub fn focus_report(suffix: &ExecutionSuffix) -> (Vec<FocusEntry>, Vec<FocusEntry>) {
+    let annotate = |(addr, width): (u64, Width)| FocusEntry {
+        addr,
+        width,
+        region: match layout::region_of(addr) {
+            layout::Region::Global => "global".to_string(),
+            layout::Region::Heap => "heap".to_string(),
+            layout::Region::Stack { tid } => format!("stack({tid})"),
+            layout::Region::Unmapped => "unmapped".to_string(),
+        },
+    };
+    (
+        suffix.read_set().into_iter().map(annotate).collect(),
+        suffix.write_set().into_iter().map(annotate).collect(),
+    )
+}
+
+/// Answers "what was the program state when thread `tid` was executing
+/// at program counter `pc`?" by replaying the suffix up to that point.
+///
+/// Returns the thread's registers and the value at each watched address
+/// at the *first* time `tid` reaches `pc`, or `None` if the suffix never
+/// takes `tid` through `pc`.
+pub fn state_at(
+    program: &Program,
+    dump: &Coredump,
+    suffix: &ExecutionSuffix,
+    tid: ThreadId,
+    pc: Loc,
+    watch: &[u64],
+) -> Option<(Vec<u64>, Vec<(u64, u64)>)> {
+    let mut m = instantiate(program, dump, suffix, TraceLevel::Off);
+    let snapshot = |m: &mvm_machine::Machine| {
+        let regs = m.threads()[&tid].top().regs.clone();
+        let mem: Vec<(u64, u64)> = watch
+            .iter()
+            .map(|&a| (a, m.memory().read(a, Width::W8)))
+            .collect();
+        (regs, mem)
+    };
+    if m.threads().get(&tid).is_some_and(|t| t.pc() == pc) {
+        return Some(snapshot(&m));
+    }
+    for (stid, n) in suffix.schedule() {
+        for _ in 0..n {
+            if m.step_thread(stid).is_err() {
+                return None;
+            }
+            if m.threads().get(&tid).is_some_and(|t| t.pc() == pc) {
+                return Some(snapshot(&m));
+            }
+        }
+    }
+    None
+}
+
+/// Answers "was thread `tid` preempted between its accesses to `addr`?"
+/// — the paper's second hypothesis-testing example. True when the
+/// suffix schedules another thread between two of `tid`'s steps that
+/// touch `addr`.
+pub fn was_preempted_between_accesses(suffix: &ExecutionSuffix, tid: ThreadId, addr: u64) -> bool {
+    let touches = |s: &crate::suffix::SuffixStep| {
+        s.reads.iter().chain(s.writes.iter()).any(|&(a, w)| {
+            addr >= a && addr < a + w.bytes()
+        })
+    };
+    let mut saw_first = false;
+    let mut preempted_since = false;
+    for s in &suffix.steps {
+        if s.tid == tid {
+            if touches(s) {
+                if saw_first && preempted_since {
+                    return true;
+                }
+                saw_first = true;
+                preempted_since = false;
+            }
+        } else if saw_first {
+            preempted_since = true;
+        }
+    }
+    false
+}

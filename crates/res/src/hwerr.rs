@@ -1,0 +1,138 @@
+//! Hardware-error identification (paper §3.2).
+//!
+//! "While analyzing a coredump, RES can discover inconsistencies between
+//! the coredump and the execution of the program prior to generating the
+//! coredump, indicating that the likely explanation is a hardware
+//! error." Operationally: if *no* feasible suffix explains the dump —
+//! and every rejection was a proof, not a budget cutoff — the dump is
+//! hardware-suspect. The verdict is then *localized* by relaxation: the
+//! engine re-runs with one candidate location (a register of the
+//! faulting frame, or a memory word) replaced by an unconstrained
+//! symbol; if exactly that relaxation restores feasibility, the
+//! corrupted location has been found — the paper's memory-bit-flip and
+//! miscomputed-addition examples both fall out of this procedure.
+
+use mvm_core::Coredump;
+use mvm_isa::{layout, Program, Reg, Width};
+use mvm_machine::AllocState;
+
+use crate::search::{ResConfig, ResEngine, Verdict};
+
+/// Where the engine localized a hardware fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwKind {
+    /// A memory word whose dump content no feasible execution produces
+    /// (bit flip, rogue DMA, multi-bit DRAM failure).
+    MemoryError {
+        /// The inconsistent word's address.
+        addr: u64,
+    },
+    /// A register whose dump content no feasible execution produces
+    /// (CPU datapath error).
+    CpuError {
+        /// The inconsistent register.
+        reg: Reg,
+    },
+    /// Inconsistency established but not localized to a single word.
+    Unlocalized,
+}
+
+/// The §3.2 verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwVerdict {
+    /// A feasible suffix exists: a software bug.
+    SoftwareBug,
+    /// No feasible suffix: likely hardware.
+    HardwareSuspected {
+        /// What and where, if localized.
+        kind: HwKind,
+        /// `true` when the infeasibility is a proof (no budget cutoffs
+        /// or solver Unknowns anywhere).
+        proven: bool,
+    },
+    /// The engine ran out of budget before deciding.
+    Inconclusive,
+}
+
+/// Candidate relaxation sites for localization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relax {
+    /// No relaxation (plain synthesis).
+    None,
+    /// Treat this memory word as unknown.
+    Mem {
+        /// Word address.
+        addr: u64,
+    },
+    /// Treat this register of the faulting thread's innermost frame as
+    /// unknown.
+    Reg {
+        /// The register.
+        reg: Reg,
+    },
+}
+
+/// Runs the full §3.2 analysis: verdict plus localization.
+pub fn hardware_verdict(program: &Program, dump: &Coredump, config: &ResConfig) -> HwVerdict {
+    let engine = ResEngine::new(program, config.clone());
+    let base = engine.synthesize_relaxed(dump, Relax::None);
+    match base.verdict {
+        Verdict::SuffixFound => return HwVerdict::SoftwareBug,
+        Verdict::BudgetExhausted => return HwVerdict::Inconclusive,
+        Verdict::NoFeasibleSuffix { .. } => {}
+    }
+    let proven = matches!(
+        base.verdict,
+        Verdict::NoFeasibleSuffix { proven: true }
+    );
+
+    // Localize by relaxation. A flipped location and a register holding
+    // a value derived from it can both restore feasibility for a
+    // one-block suffix, so all candidates are scored by how *deep* a
+    // suffix the relaxation enables — the true corruption site lets the
+    // search reverse much further (ideally to the program entry).
+    let mut best: Option<(usize, HwKind)> = None;
+    let mut consider = |kind: HwKind, res: &crate::search::SynthesisResult| {
+        if res.verdict != Verdict::SuffixFound {
+            return;
+        }
+        let depth = res.suffixes.iter().map(|s| s.len()).max().unwrap_or(0);
+        if best.as_ref().is_none_or(|(d, _)| depth > *d) {
+            best = Some((depth, kind));
+        }
+    };
+    for r in 0..Reg::COUNT as u8 {
+        let res = engine.synthesize_relaxed(dump, Relax::Reg { reg: Reg(r) });
+        consider(HwKind::CpuError { reg: Reg(r) }, &res);
+    }
+    for addr in candidate_words(dump) {
+        let res = engine.synthesize_relaxed(dump, Relax::Mem { addr });
+        consider(HwKind::MemoryError { addr }, &res);
+    }
+    HwVerdict::HardwareSuspected {
+        kind: best.map(|(_, k)| k).unwrap_or(HwKind::Unlocalized),
+        proven,
+    }
+}
+
+/// Memory words worth relaxing: the globals segment plus live heap
+/// payloads, capped.
+fn candidate_words(dump: &Coredump) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut addr = layout::GLOBAL_BASE;
+    while addr < dump.globals_end && out.len() < 64 {
+        out.push(addr);
+        addr += Width::W8.bytes();
+    }
+    for m in &dump.heap_allocs {
+        if m.state != AllocState::Live {
+            continue;
+        }
+        let mut a = m.base;
+        while a < m.base + m.size && out.len() < 128 {
+            out.push(a);
+            a += Width::W8.bytes();
+        }
+    }
+    out
+}

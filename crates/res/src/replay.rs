@@ -1,0 +1,238 @@
+//! Deterministic replay of a synthesized suffix (paper §2.1).
+//!
+//! "To replay a suffix in a debugger like gdb, a special environment is
+//! slipped underneath the debugger to instantiate Mi and replay Ti; to
+//! the developer it looks as if the program deterministically runs into
+//! the same failure."
+//!
+//! The replayer here is that environment: it boots a fresh machine,
+//! instantiates the partial image `Mi` over the coredump's memory,
+//! reconstructs thread contexts and allocator metadata at the suffix
+//! start, pins the block-granular schedule and the inferred inputs, runs
+//! forward, and finally verifies that the machine faults identically and
+//! that its memory and thread state match the original dump byte for
+//! byte.
+
+use std::collections::{HashMap, VecDeque};
+
+use mvm_core::{diff_dumps, Coredump, DumpDiff};
+use mvm_isa::Program;
+use mvm_machine::{
+    AllocState,
+    Fault,
+    Frame,
+    InputSource,
+    Machine,
+    MachineConfig,
+    ThreadId,
+    ThreadState,
+    ThreadStatus,
+    TraceLevel, //
+};
+
+use crate::suffix::ExecutionSuffix;
+
+/// The outcome of replaying a suffix.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// `true` when the replay reproduced the fault *and* the final state
+    /// matches the coredump.
+    pub reproduced: bool,
+    /// `true` when the fault class and location matched.
+    pub fault_matches: bool,
+    /// Differences between the replayed state and the coredump.
+    pub diff: DumpDiff,
+    /// The fault the replay hit, if any.
+    pub replay_fault: Option<Fault>,
+    /// Instructions executed during the replay.
+    pub steps_executed: u64,
+}
+
+/// Builds a machine positioned at the suffix start ("the environment
+/// slipped underneath the debugger"), ready to be stepped.
+///
+/// Exposed separately from [`replay_suffix`] so debugging aids (§3.3)
+/// can stop at intermediate points.
+pub fn instantiate(program: &Program, dump: &Coredump, suffix: &ExecutionSuffix, trace: TraceLevel) -> Machine {
+    let mut per_thread: HashMap<ThreadId, VecDeque<u64>> = HashMap::new();
+    for (tid, vals) in &suffix.inputs {
+        per_thread.insert(*tid, vals.iter().copied().collect());
+    }
+    let mut m = Machine::new(
+        program.clone(),
+        MachineConfig {
+            input: InputSource::Scripted {
+                per_thread,
+                fallback: 0,
+            },
+            trace,
+            ..MachineConfig::default()
+        },
+    );
+    // Memory: the dump image (locations the suffix never touches are
+    // unchanged by it) overlaid with the concretized `Mi` cells.
+    *m.memory_mut() = dump.memory.clone();
+    for (addr, width, value) in &suffix.initial_cells {
+        m.memory_mut().write(*addr, *value, *width);
+    }
+    // Heap: the dump's allocation table minus the allocations the
+    // suffix itself performs (address order is allocation order for the
+    // bump allocator), with suffix-freed blocks resurrected.
+    let suffix_allocs: usize = suffix.steps.iter().map(|s| s.allocs).sum();
+    let keep = dump.heap_allocs.len().saturating_sub(suffix_allocs);
+    m.heap_mut().install(dump.heap_allocs.iter().take(keep).copied());
+    for s in &suffix.steps {
+        for base in &s.frees {
+            m.heap_mut().set_state(*base, AllocState::Live);
+        }
+    }
+    // Threads: dump frames below the start depth, a concretized frame at
+    // the start position.
+    m.threads_mut().clear();
+    for (&tid, &(depth, loc)) in &suffix.start_positions {
+        let dump_thread = dump.thread(tid).expect("dump thread");
+        let mut frames: Vec<Frame> = dump_thread.frames[..depth].to_vec();
+        let (reg_depth, regs) = &suffix.initial_regs[&tid];
+        debug_assert_eq!(*reg_depth, depth);
+        let template = &dump_thread.frames[depth.min(dump_thread.frames.len() - 1)];
+        frames.push(Frame {
+            func: loc.func,
+            block: loc.block,
+            inst: loc.inst,
+            regs: regs.clone(),
+            ret_reg: template.ret_reg,
+        });
+        m.install_thread(ThreadState {
+            tid,
+            frames,
+            status: ThreadStatus::Runnable,
+            inputs_consumed: 0,
+        });
+    }
+    // Make sure thread-id space covers every dump thread (stack region
+    // validity).
+    for t in &dump.threads {
+        if m.threads().contains_key(&t.tid) {
+            continue;
+        }
+        m.install_thread(ThreadState {
+            tid: t.tid,
+            frames: t.frames.clone(),
+            status: t.status,
+            inputs_consumed: 0,
+        });
+    }
+    m
+}
+
+/// Replays a suffix against its coredump and verifies reproduction.
+pub fn replay_suffix(program: &Program, dump: &Coredump, suffix: &ExecutionSuffix) -> ReplayReport {
+    replay_with_trace(program, dump, suffix, TraceLevel::Off).0
+}
+
+/// Replays and also returns the machine (with any requested trace) for
+/// root-cause analysis.
+pub fn replay_with_trace(
+    program: &Program,
+    dump: &Coredump,
+    suffix: &ExecutionSuffix,
+    trace: TraceLevel,
+) -> (ReplayReport, Machine) {
+    let mut m = instantiate(program, dump, suffix, trace);
+    let mut steps_executed = 0u64;
+    // Remaining scheduled steps per thread, to detect when a thread's
+    // suffix work is done and its dump-final status (halted/blocked)
+    // should be settled.
+    let mut remaining: HashMap<ThreadId, u64> = HashMap::new();
+    for (tid, n) in suffix.schedule() {
+        *remaining.entry(tid).or_default() += n;
+    }
+    let fail = |m: &Machine, fault: Option<Fault>, steps: u64| ReplayReport {
+        reproduced: false,
+        fault_matches: false,
+        diff: diff_dumps(&Coredump::capture_anyway(m), dump, 64),
+        replay_fault: fault,
+        steps_executed: steps,
+    };
+
+    for (tid, n) in suffix.schedule() {
+        for _ in 0..n {
+            match m.step_thread(tid) {
+                Ok(_) => steps_executed += 1,
+                Err(fault) => {
+                    // Premature fault: the suffix is wrong.
+                    return (fail(&m, Some(fault), steps_executed), m);
+                }
+            }
+        }
+        let rem = remaining.get_mut(&tid).expect("scheduled thread");
+        *rem -= n;
+        if *rem == 0 {
+            // Settle the thread's dump-final status so joins and
+            // deadlock detection behave (its halt/block step is not part
+            // of the synthesized range).
+            if let Some(dt) = dump.thread(tid) {
+                let runnable = m.threads()[&tid].status == ThreadStatus::Runnable;
+                let needs_settle = matches!(
+                    dt.status,
+                    ThreadStatus::Halted | ThreadStatus::BlockedOnLock(_)
+                ) && runnable
+                    && tid != dump.faulting_tid;
+                if needs_settle {
+                    if let Err(fault) = m.step_thread(tid) {
+                        return (fail(&m, Some(fault), steps_executed), m);
+                    }
+                    steps_executed += 1;
+                }
+            }
+        }
+    }
+
+    // The final faulting step.
+    let replay_fault = if matches!(dump.fault, Fault::Deadlock { .. }) {
+        // Drive the faulting thread into its blocking lock, then let the
+        // machine detect the global deadlock.
+        let _ = m.step_thread(dump.faulting_tid);
+        steps_executed += 1;
+        match m.run() {
+            mvm_machine::Outcome::Faulted { fault, .. } => Some(fault),
+            _ => None,
+        }
+    } else {
+        match m.step_thread(dump.faulting_tid) {
+            Err(fault) => {
+                steps_executed += 1;
+                Some(fault)
+            }
+            Ok(_) => {
+                steps_executed += 1;
+                None
+            }
+        }
+    };
+
+    let fault_matches = match (&replay_fault, &dump.fault) {
+        (Some(a), b) => match (a, *b == *a) {
+            // Deadlock participant sets may be enumerated in any order.
+            (Fault::Deadlock { .. }, _) => matches!(dump.fault, Fault::Deadlock { .. }),
+            (_, eq) => eq,
+        },
+        (None, _) => false,
+    };
+    let replay_dump = Coredump::capture_anyway(&m);
+    let diff = diff_dumps(&replay_dump, dump, 64);
+    let state_matches = diff.memory_bytes.is_empty()
+        && diff.pcs.is_empty()
+        && diff.registers.is_empty()
+        && diff.thread_set.is_empty();
+    (
+        ReplayReport {
+            reproduced: fault_matches && state_matches,
+            fault_matches,
+            diff,
+            replay_fault,
+            steps_executed,
+        },
+        m,
+    )
+}

@@ -1,0 +1,765 @@
+//! The backward suffix search (paper §2.3–§2.4).
+//!
+//! Starting from the coredump, the engine repeatedly forms *predecessor
+//! hypotheses* — which basic block (of which thread) executed
+//! immediately before the earliest point reconstructed so far — and
+//! keeps the hypotheses whose forward symbolic execution is compatible
+//! with the later state. Each accepted hypothesis prepends one
+//! block-granular step to the suffix; the search is depth-first with a
+//! candidate-priority heuristic that prefers blocks writing memory the
+//! suffix is known to read (the way a developer chases "who set this
+//! value").
+//!
+//! Breadcrumbs (paper §2.4) prune aggressively when present: the
+//! suffix's control transfers nearest the failure must match the dump's
+//! LBR ring, and error-log emissions must match the retained log tail.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mvm_core::Coredump;
+use mvm_isa::{
+    cfg::CallGraph,
+    BlockId,
+    Inst,
+    Loc,
+    Program,
+    Reg,
+    Terminator, //
+};
+use mvm_machine::ThreadId;
+use mvm_symbolic::{ExprRef, Model, SolveResult, Solver, SolverConfig};
+
+use crate::blockexec::{run_hypothesis, EndPoint, HypSpec, Infeasible, Tagged};
+use crate::hwerr::Relax;
+use crate::snapshot::Snapshot;
+use crate::suffix::{ExecutionSuffix, SuffixStep};
+use crate::symctx::{SymCtx, SymOrigin};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ResConfig {
+    /// Maximum suffix length in block-granular steps.
+    pub max_depth: usize,
+    /// Maximum search nodes expanded.
+    pub max_nodes: u64,
+    /// Stop after this many complete suffixes.
+    pub max_suffixes: usize,
+    /// Per-hypothesis instruction budget.
+    pub hyp_max_steps: u64,
+    /// Solver budgets.
+    pub solver: SolverConfig,
+    /// Prune candidates against the dump's LBR ring.
+    pub use_lbr: bool,
+    /// Match only offline-underivable transfers (the §2.4 LBR filtering
+    /// extension; must match how the ring was recorded).
+    pub lbr_filtered: bool,
+    /// Prune candidates against the dump's error-log tail.
+    pub use_error_log: bool,
+    /// Consider cross-thread predecessor hypotheses (schedule
+    /// reconstruction).
+    pub cross_thread: bool,
+    /// Ablation A1: disable the `S' ⊇ Spost` over-approximation check.
+    pub skip_compat_check: bool,
+    /// Ablation A2: minidump mode — treat the dump's memory image as
+    /// unavailable (stack and registers only).
+    pub opaque_memory: bool,
+}
+
+impl Default for ResConfig {
+    fn default() -> Self {
+        ResConfig {
+            max_depth: 12,
+            max_nodes: 4000,
+            max_suffixes: 4,
+            hyp_max_steps: 4096,
+            solver: SolverConfig::default(),
+            use_lbr: false,
+            lbr_filtered: false,
+            use_error_log: false,
+            cross_thread: true,
+            skip_compat_check: false,
+            opaque_memory: false,
+        }
+    }
+}
+
+/// Search statistics — the currency of experiments E3, E4, and A1.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes expanded.
+    pub nodes_expanded: u64,
+    /// Hypotheses executed.
+    pub hypotheses: u64,
+    /// Hypotheses accepted.
+    pub accepted: u64,
+    /// Rejections: control flow cannot work.
+    pub rejected_structural: u64,
+    /// Rejections: execution-time contradiction.
+    pub rejected_exec: u64,
+    /// Rejections: solver proved the combined constraints unsatisfiable.
+    pub rejected_solver: u64,
+    /// Rejections: LBR breadcrumb mismatch.
+    pub rejected_lbr: u64,
+    /// Rejections: error-log breadcrumb mismatch.
+    pub rejected_log: u64,
+    /// Rejections: per-hypothesis budget (inconclusive).
+    pub rejected_budget: u64,
+    /// Acceptances that leaned on a solver Unknown.
+    pub unknown_accepted: u64,
+    /// Complete suffixes whose final model solve failed (pruned late).
+    pub finalize_failed: u64,
+    /// Deepest suffix reached.
+    pub deepest: usize,
+}
+
+/// The engine's overall verdict for a dump (paper §2.1: if no feasible
+/// path exists, "the coredump is likely due to hardware failure").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// At least one feasible suffix was synthesized.
+    SuffixFound,
+    /// No feasible suffix exists within the explored horizon.
+    NoFeasibleSuffix {
+        /// `true` when every rejection was a proof (no budget cutoffs or
+        /// solver Unknowns) — the basis for a hardware-error diagnosis.
+        proven: bool,
+    },
+    /// The node budget ran out before any suffix completed.
+    BudgetExhausted,
+}
+
+/// Everything `synthesize` returns.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// Suffixes found, in discovery order.
+    pub suffixes: Vec<ExecutionSuffix>,
+    /// Search statistics.
+    pub stats: SearchStats,
+    /// Overall verdict.
+    pub verdict: Verdict,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ThreadPos {
+    depth: usize,
+    loc: Loc,
+    partial_done: bool,
+    barrier: bool,
+}
+
+#[derive(Clone)]
+struct Node {
+    snap: Snapshot,
+    constraints: Vec<Tagged>,
+    steps_rev: Vec<SuffixStep>,
+    positions: BTreeMap<ThreadId, ThreadPos>,
+    suffix_allocs: usize,
+    lbr_rem: usize,
+    log_rem: usize,
+    read_addrs: BTreeSet<u64>,
+    unknown_used: bool,
+    depth: usize,
+}
+
+struct Candidate {
+    tid: ThreadId,
+    frame_depth: usize,
+    start: Loc,
+    end: EndPoint,
+    callee_entry_regs: Option<Vec<ExprRef>>,
+    callee_ret_reg: Option<Reg>,
+    pops_frame: bool,
+    priority: u8,
+    /// The range was truncated at a `spawn`; the thread cannot be
+    /// reversed past it (spawns are backward barriers).
+    barrier_after: bool,
+}
+
+/// The reverse-execution-synthesis engine for one program.
+pub struct ResEngine<'p> {
+    program: &'p Program,
+    callgraph: CallGraph,
+    config: ResConfig,
+    solver: Solver,
+}
+
+impl<'p> ResEngine<'p> {
+    /// Builds an engine (CFGs and call graph are precomputed).
+    pub fn new(program: &'p Program, config: ResConfig) -> Self {
+        let solver = Solver::with_config(config.solver);
+        ResEngine {
+            program,
+            callgraph: CallGraph::build(program),
+            config,
+            solver,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ResConfig {
+        &self.config
+    }
+
+    /// Synthesizes execution suffixes for a coredump.
+    pub fn synthesize(&self, dump: &Coredump) -> SynthesisResult {
+        self.synthesize_relaxed(dump, Relax::None)
+    }
+
+    /// Synthesizes with one dump location treated as unknown — the §3.2
+    /// hardware-error localization probe.
+    pub fn synthesize_relaxed(&self, dump: &Coredump, relax: Relax) -> SynthesisResult {
+        let mut stats = SearchStats::default();
+        let mut ctx = SymCtx::new();
+        let mut snap = Snapshot::from_coredump(dump);
+        if self.config.opaque_memory {
+            snap.set_opaque_base(true);
+        }
+        let mut positions = BTreeMap::new();
+        for t in &dump.threads {
+            let depth = t.frames.len() - 1;
+            let loc = t.pc();
+            // A partial range that would be empty after spawn truncation
+            // leaves the thread already done (and unable to go further).
+            let blk = self.program.func(loc.func).block(loc.block);
+            let has_spawn_before = blk.insts[..(loc.inst as usize).min(blk.insts.len())]
+                .iter()
+                .any(|i| matches!(i, Inst::Spawn { .. }));
+            let empty_after_spawn = has_spawn_before
+                && self
+                    .spawn_adjusted_start(loc.func, loc.block, loc.inst)
+                    .0
+                    >= loc.inst;
+            positions.insert(
+                t.tid,
+                ThreadPos {
+                    depth,
+                    loc,
+                    partial_done: loc.inst == 0 || empty_after_spawn,
+                    barrier: empty_after_spawn,
+                },
+            );
+        }
+        match relax {
+            Relax::None => {}
+            Relax::Mem { addr } => {
+                let sym = ctx.fresh(SymOrigin::HavocMem {
+                    addr,
+                    width: mvm_isa::Width::W8,
+                    depth: 0,
+                });
+                snap.write_mem(addr, mvm_isa::Width::W8, sym);
+            }
+            Relax::Reg { reg } => {
+                let tid = dump.faulting_tid;
+                let depth = positions[&tid].depth;
+                let sym = ctx.fresh(SymOrigin::HavocReg { tid, reg, depth: 0 });
+                snap.set_reg(tid, depth, reg, sym);
+            }
+        }
+        let root = Node {
+            snap,
+            constraints: Vec::new(),
+            steps_rev: Vec::new(),
+            positions,
+            suffix_allocs: 0,
+            lbr_rem: dump.lbr.len(),
+            log_rem: dump.error_log.len(),
+            read_addrs: BTreeSet::new(),
+            unknown_used: false,
+            depth: 0,
+        };
+
+        let mut suffixes = Vec::new();
+        let mut stack = vec![root];
+        let mut budget_cut = false;
+        while let Some(node) = stack.pop() {
+            if suffixes.len() >= self.config.max_suffixes {
+                break;
+            }
+            if stats.nodes_expanded >= self.config.max_nodes {
+                budget_cut = true;
+                break;
+            }
+            stats.nodes_expanded += 1;
+            stats.deepest = stats.deepest.max(node.depth);
+
+            if node.depth >= self.config.max_depth {
+                if let Some(sfx) = self.finalize(&node, &ctx, &mut stats) {
+                    suffixes.push(sfx);
+                }
+                continue;
+            }
+            let candidates = self.enumerate(&node, dump);
+            if candidates.is_empty() {
+                if let Some(sfx) = self.finalize(&node, &ctx, &mut stats) {
+                    suffixes.push(sfx);
+                }
+                continue;
+            }
+            let mut children = Vec::new();
+            for cand in candidates {
+                stats.hypotheses += 1;
+                match self.try_candidate(&node, &cand, dump, &mut ctx, &mut stats) {
+                    Some(child) => children.push((cand.priority, child)),
+                    None => {}
+                }
+            }
+            if children.is_empty() {
+                // Cul-de-sac: the node itself is the longest suffix on
+                // this path.
+                if node.depth > 0 {
+                    if let Some(sfx) = self.finalize(&node, &ctx, &mut stats) {
+                        suffixes.push(sfx);
+                    }
+                }
+                continue;
+            }
+            // DFS: push lowest priority first so the best is popped
+            // first.
+            children.sort_by(|a, b| b.0.cmp(&a.0));
+            for (_, c) in children {
+                stack.push(c);
+            }
+        }
+
+        let verdict = if !suffixes.is_empty() {
+            Verdict::SuffixFound
+        } else if budget_cut {
+            Verdict::BudgetExhausted
+        } else {
+            Verdict::NoFeasibleSuffix {
+                proven: stats.rejected_budget == 0
+                    && stats.unknown_accepted == 0
+                    && stats.finalize_failed == 0,
+            }
+        };
+        SynthesisResult {
+            suffixes,
+            stats,
+            verdict,
+        }
+    }
+
+    fn enumerate(&self, node: &Node, dump: &Coredump) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        // The very first backward step must reverse the faulting
+        // thread's partial block — the latest range of the execution.
+        if node.depth == 0 {
+            let tid = dump.faulting_tid;
+            let pos = node.positions[&tid];
+            if !pos.partial_done {
+                out.extend(self.partial_candidate(tid, pos));
+                return out;
+            }
+        }
+        let last_tid = node.steps_rev.last().map(|s| s.tid);
+        for (&tid, pos) in &node.positions {
+            if pos.barrier {
+                continue;
+            }
+            if !self.config.cross_thread && tid != dump.faulting_tid {
+                continue;
+            }
+            if !pos.partial_done {
+                out.extend(self.partial_candidate(tid, *pos));
+                continue;
+            }
+            debug_assert_eq!(pos.loc.inst, 0);
+            let func = pos.loc.func;
+            let cfg = self.callgraph.cfg(func);
+            for &p in cfg.preds(pos.loc.block) {
+                let blk_len = self.program.func(func).block(p).insts.len() as u32;
+                let (start_inst, barrier_after) = self.spawn_adjusted_start(func, p, blk_len);
+                let start = Loc {
+                    func,
+                    block: p,
+                    inst: start_inst,
+                };
+                let priority = self.priority(node, tid, last_tid, func, p);
+                out.push(Candidate {
+                    tid,
+                    frame_depth: pos.depth,
+                    start,
+                    end: EndPoint {
+                        depth_delta: 0,
+                        loc: pos.loc,
+                    },
+                    callee_entry_regs: None,
+                    callee_ret_reg: None,
+                    pops_frame: false,
+                    priority,
+                    barrier_after,
+                });
+            }
+            // Backward past the function entry, via the dump's stack.
+            if pos.loc.block == BlockId(0) && pos.depth > 0 {
+                let t = node.snap.thread(tid).expect("thread in snapshot");
+                let caller = &t.frames[pos.depth - 1];
+                let callee_frame = &t.frames[pos.depth];
+                let caller_func = self.program.func(caller.func);
+                for (bid, block) in caller_func.iter_blocks() {
+                    if let Terminator::Call { func: cf, cont, .. } = &block.terminator {
+                        if *cf == func && *cont == caller.block {
+                            let blk_len =
+                                self.program.func(caller.func).block(bid).insts.len() as u32;
+                            let (start_inst, barrier_after) =
+                                self.spawn_adjusted_start(caller.func, bid, blk_len);
+                            out.push(Candidate {
+                                tid,
+                                frame_depth: pos.depth - 1,
+                                start: Loc {
+                                    func: caller.func,
+                                    block: bid,
+                                    inst: start_inst,
+                                },
+                                end: EndPoint {
+                                    depth_delta: 1,
+                                    loc: pos.loc,
+                                },
+                                callee_entry_regs: Some(callee_frame.regs.clone()),
+                                callee_ret_reg: callee_frame.ret_reg,
+                                pops_frame: true,
+                                priority: 1,
+                                barrier_after,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Start instruction for a range over `block`, truncated past the
+    /// last `spawn` among the first `end_inst` instructions. Spawns are
+    /// backward barriers for the block-granular engine.
+    fn spawn_adjusted_start(&self, func: mvm_isa::FuncId, block: BlockId, end_inst: u32) -> (u32, bool) {
+        let blk = self.program.func(func).block(block);
+        let upto = (end_inst as usize).min(blk.insts.len());
+        let last_spawn = blk.insts[..upto]
+            .iter()
+            .rposition(|i| matches!(i, Inst::Spawn { .. }));
+        match last_spawn {
+            Some(j) => (j as u32 + 1, true),
+            None => (0, false),
+        }
+    }
+
+    fn partial_candidate(&self, tid: ThreadId, pos: ThreadPos) -> Option<Candidate> {
+        let (start_inst, barrier_after) =
+            self.spawn_adjusted_start(pos.loc.func, pos.loc.block, pos.loc.inst);
+        if start_inst >= pos.loc.inst {
+            // The partial range is empty (fault right after a spawn).
+            return None;
+        }
+        Some(Candidate {
+            tid,
+            frame_depth: pos.depth,
+            start: Loc {
+                func: pos.loc.func,
+                block: pos.loc.block,
+                inst: start_inst,
+            },
+            end: EndPoint {
+                depth_delta: 0,
+                loc: pos.loc,
+            },
+            callee_entry_regs: None,
+            callee_ret_reg: None,
+            pops_frame: false,
+            priority: 0,
+            barrier_after,
+        })
+    }
+
+    /// Candidate ordering: 0 is best. Blocks that store to globals the
+    /// suffix has read explain mystery values — explore them first.
+    fn priority(
+        &self,
+        node: &Node,
+        tid: ThreadId,
+        last_tid: Option<ThreadId>,
+        func: mvm_isa::FuncId,
+        block: BlockId,
+    ) -> u8 {
+        if self.block_stores_read_global(node, func, block) {
+            return 0;
+        }
+        if Some(tid) == last_tid {
+            1
+        } else {
+            2
+        }
+    }
+
+    fn block_stores_read_global(&self, node: &Node, func: mvm_isa::FuncId, block: BlockId) -> bool {
+        if node.read_addrs.is_empty() {
+            return false;
+        }
+        let blk = self.program.func(func).block(block);
+        let mut has_store = false;
+        let mut touched: Vec<(u64, u64)> = Vec::new();
+        for i in &blk.insts {
+            match i {
+                Inst::Store { .. } => has_store = true,
+                Inst::AddrOf { global, .. } => {
+                    let g = self.program.global(*global);
+                    touched.push((g.addr, g.size.max(8)));
+                }
+                _ => {}
+            }
+        }
+        if !has_store || touched.is_empty() {
+            return false;
+        }
+        node.read_addrs
+            .iter()
+            .any(|&a| touched.iter().any(|&(base, size)| a >= base && a < base + size))
+    }
+
+    fn try_candidate(
+        &self,
+        node: &Node,
+        cand: &Candidate,
+        dump: &Coredump,
+        ctx: &mut SymCtx,
+        stats: &mut SearchStats,
+    ) -> Option<Node> {
+        let base: Vec<ExprRef> = node.constraints.iter().map(|t| t.expr.clone()).collect();
+        let spost_regs = node
+            .snap
+            .thread(cand.tid)
+            .expect("thread in snapshot")
+            .frames[cand.frame_depth]
+            .regs
+            .clone();
+        let spec = HypSpec {
+            program: self.program,
+            tid: cand.tid,
+            frame_depth: cand.frame_depth,
+            start: cand.start,
+            end: cand.end,
+            spost_regs,
+            callee_entry_regs: cand.callee_entry_regs.clone(),
+            callee_ret_reg: cand.callee_ret_reg,
+            dump_allocs: &dump.heap_allocs,
+            later_allocs: node.suffix_allocs,
+            base_constraints: &base,
+            max_steps: self.config.hyp_max_steps,
+            skip_compat: self.config.skip_compat_check,
+        };
+        let outcome = match run_hypothesis(&spec, &node.snap, ctx, &self.solver, node.depth) {
+            Ok(o) => o,
+            Err(Infeasible::Structural(_) | Infeasible::SpawnBarrier) => {
+                stats.rejected_structural += 1;
+                return None;
+            }
+            Err(Infeasible::Unsat | Infeasible::HeapMismatch | Infeasible::MixedAliasing) => {
+                stats.rejected_exec += 1;
+                return None;
+            }
+            Err(Infeasible::Budget) => {
+                stats.rejected_budget += 1;
+                return None;
+            }
+        };
+
+        // Breadcrumb pruning.
+        let mut lbr_rem = node.lbr_rem;
+        if self.config.use_lbr && lbr_rem > 0 {
+            let relevant: Vec<_> = outcome
+                .transfers
+                .iter()
+                .filter(|t| !self.config.lbr_filtered || !t.inferrable)
+                .collect();
+            let m = relevant.len().min(lbr_rem);
+            let dump_slice = &dump.lbr[lbr_rem - m..lbr_rem];
+            let mine = &relevant[relevant.len() - m..];
+            for (entry, tr) in dump_slice.iter().zip(mine.iter()) {
+                if entry.tid != cand.tid || entry.from != tr.from || entry.to != tr.to {
+                    stats.rejected_lbr += 1;
+                    return None;
+                }
+            }
+            lbr_rem -= m;
+        }
+        let mut log_rem = node.log_rem;
+        let mut log_constraints: Vec<Tagged> = Vec::new();
+        if self.config.use_error_log && !outcome.logs.is_empty() {
+            let k = outcome.logs.len();
+            let m = k.min(log_rem);
+            let dump_slice = &dump.error_log[log_rem - m..log_rem];
+            let mine = &outcome.logs[k - m..];
+            for (entry, (site, expr)) in dump_slice.iter().zip(mine.iter()) {
+                if entry.tid != cand.tid || entry.at != *site {
+                    stats.rejected_log += 1;
+                    return None;
+                }
+                let c = mvm_symbolic::Expr::bin(
+                    mvm_isa::BinOp::Eq,
+                    expr.clone(),
+                    mvm_symbolic::Expr::konst(entry.value),
+                );
+                match c.as_const() {
+                    Some(0) => {
+                        stats.rejected_log += 1;
+                        return None;
+                    }
+                    Some(_) => {}
+                    None => log_constraints.push(Tagged {
+                        expr: c,
+                        tag: crate::blockexec::Tag::Path,
+                    }),
+                }
+            }
+            log_rem -= m;
+        }
+
+        // Global satisfiability check (the paper's S' ⊇ Spost test over
+        // the whole accumulated constraint set).
+        let mut all = base;
+        all.extend(outcome.constraints.iter().map(|t| t.expr.clone()));
+        all.extend(log_constraints.iter().map(|t| t.expr.clone()));
+        let mut unknown = outcome.unknown_used;
+        match self.solver.check(&all) {
+            SolveResult::Sat(_) => {}
+            SolveResult::Unsat => {
+                stats.rejected_solver += 1;
+                return None;
+            }
+            SolveResult::Unknown => {
+                unknown = true;
+                stats.unknown_accepted += 1;
+            }
+        }
+        stats.accepted += 1;
+
+        // Build the child node.
+        let mut snap = node.snap.clone();
+        if cand.pops_frame {
+            snap.pop_frame(cand.tid);
+        }
+        {
+            let t = snap.thread_mut(cand.tid).expect("thread in snapshot");
+            t.frames[cand.frame_depth].regs = outcome.spre_regs.clone();
+        }
+        for (addr, width, sym) in &outcome.spre_cells {
+            snap.write_mem(*addr, *width, sym.clone());
+        }
+        let mut constraints = node.constraints.clone();
+        constraints.extend(outcome.constraints.iter().cloned());
+        constraints.extend(log_constraints);
+        let mut positions = node.positions.clone();
+        positions.insert(
+            cand.tid,
+            ThreadPos {
+                depth: cand.frame_depth,
+                loc: cand.start,
+                partial_done: true,
+                barrier: cand.barrier_after,
+            },
+        );
+        // A thread parked at its function's entry with no caller frame
+        // and no loop back-edge cannot go further back.
+        if cand.start.block == BlockId(0) && cand.start.inst == 0 && cand.frame_depth == 0 {
+            let has_loop_pred = !self.callgraph.cfg(cand.start.func).preds(BlockId(0)).is_empty();
+            if !has_loop_pred {
+                positions.get_mut(&cand.tid).unwrap().barrier = true;
+            }
+        }
+        let mut read_addrs = node.read_addrs.clone();
+        for (a, _) in &outcome.reads {
+            if read_addrs.len() < 512 {
+                read_addrs.insert(*a);
+            }
+        }
+        let input_kinds = outcome
+            .inputs
+            .iter()
+            .map(|&s| match ctx.origin(s) {
+                Some(SymOrigin::Input { kind, .. }) => *kind,
+                _ => mvm_isa::InputKind::Env,
+            })
+            .collect();
+        let mut steps_rev = node.steps_rev.clone();
+        steps_rev.push(SuffixStep {
+            tid: cand.tid,
+            frame_depth: cand.frame_depth,
+            start: cand.start,
+            end: cand.end,
+            transfers: outcome.transfers.clone(),
+            inputs: outcome.inputs.clone(),
+            input_kinds,
+            allocs: outcome.allocs,
+            frees: outcome.frees.clone(),
+            reads: outcome.reads.clone(),
+            writes: outcome.writes.clone(),
+            steps: outcome.steps,
+        });
+        Some(Node {
+            snap,
+            constraints,
+            steps_rev,
+            positions,
+            suffix_allocs: node.suffix_allocs + outcome.allocs,
+            lbr_rem,
+            log_rem,
+            read_addrs,
+            unknown_used: node.unknown_used || unknown,
+            depth: node.depth + 1,
+        })
+    }
+
+    fn finalize(&self, node: &Node, ctx: &SymCtx, stats: &mut SearchStats) -> Option<ExecutionSuffix> {
+        if node.steps_rev.is_empty() {
+            return None;
+        }
+        let exprs: Vec<ExprRef> = node.constraints.iter().map(|t| t.expr.clone()).collect();
+        let (model, approximate) = match self.solver.check(&exprs) {
+            SolveResult::Sat(m) => (m, node.unknown_used),
+            SolveResult::Unknown => (Model::new(), true),
+            SolveResult::Unsat => {
+                stats.finalize_failed += 1;
+                return None;
+            }
+        };
+        let steps: Vec<SuffixStep> = node.steps_rev.iter().rev().cloned().collect();
+        // Concretize the suffix-start snapshot.
+        let mut initial_cells = Vec::new();
+        for (addr, cell) in node.snap.cells() {
+            let v = model.eval_total(&cell.expr).unwrap_or(0);
+            initial_cells.push((addr, cell.width, v));
+        }
+        let mut initial_regs = BTreeMap::new();
+        let mut start_positions = BTreeMap::new();
+        for (&tid, pos) in &node.positions {
+            let t = node.snap.thread(tid).expect("thread in snapshot");
+            let regs: Vec<u64> = t.frames[pos.depth]
+                .regs
+                .iter()
+                .map(|e| model.eval_total(e).unwrap_or(0))
+                .collect();
+            initial_regs.insert(tid, (pos.depth, regs));
+            start_positions.insert(tid, (pos.depth, pos.loc));
+        }
+        // Inputs in forward per-thread order.
+        let mut inputs: BTreeMap<ThreadId, Vec<u64>> = BTreeMap::new();
+        for s in &steps {
+            for sym in &s.inputs {
+                let v = model.get_or_zero(*sym);
+                inputs.entry(s.tid).or_default().push(v);
+            }
+        }
+        let _ = ctx;
+        Some(ExecutionSuffix {
+            steps,
+            model,
+            initial_cells,
+            initial_regs,
+            start_positions,
+            inputs,
+            constraints: node.constraints.clone(),
+            approximate,
+        })
+    }
+}

@@ -1,0 +1,193 @@
+//! Synthesized execution suffixes — the engine's output artifact
+//! (paper §2.1: "a set of execution traces Ti ... corresponding to each
+//! instruction trace, a partial memory image Mi").
+
+use std::collections::BTreeMap;
+
+use mvm_isa::{InputKind, Loc, Reg, Width};
+use mvm_machine::ThreadId;
+use mvm_symbolic::{Model, SymId};
+
+use crate::blockexec::{EndPoint, Tag, Tagged, Transfer};
+
+/// One backward-discovered step of the suffix (a block-granular range
+/// executed by one thread).
+#[derive(Debug, Clone)]
+pub struct SuffixStep {
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// Frame depth (index into the dump's frame stack) the range
+    /// executes in.
+    pub frame_depth: usize,
+    /// Range start.
+    pub start: Loc,
+    /// Range end.
+    pub end: EndPoint,
+    /// Control transfers taken inside the range, forward order.
+    pub transfers: Vec<Transfer>,
+    /// Input symbols consumed, forward order.
+    pub inputs: Vec<SymId>,
+    /// Input kinds aligned with `inputs`.
+    pub input_kinds: Vec<InputKind>,
+    /// Allocations performed.
+    pub allocs: usize,
+    /// Frees performed (payload bases).
+    pub frees: Vec<u64>,
+    /// Concrete read set.
+    pub reads: Vec<(u64, Width)>,
+    /// Concrete write set.
+    pub writes: Vec<(u64, Width)>,
+    /// Instructions in the range.
+    pub steps: u64,
+}
+
+/// A complete synthesized suffix, concretized by a solver model.
+#[derive(Debug, Clone)]
+pub struct ExecutionSuffix {
+    /// Steps in *forward execution order* (the reverse of discovery
+    /// order).
+    pub steps: Vec<SuffixStep>,
+    /// The satisfying model that concretizes havoc symbols and inputs.
+    pub model: Model,
+    /// The partial memory image `Mi`: concrete cell values to install
+    /// before replaying.
+    pub initial_cells: Vec<(u64, Width, u64)>,
+    /// Initial register files: `(tid, frame_depth, regs)` for each
+    /// thread at suffix start.
+    pub initial_regs: BTreeMap<ThreadId, (usize, Vec<u64>)>,
+    /// Start position per thread: `(frame_depth, loc)`.
+    pub start_positions: BTreeMap<ThreadId, (usize, Loc)>,
+    /// Concrete input values per thread, in consumption order.
+    pub inputs: BTreeMap<ThreadId, Vec<u64>>,
+    /// All constraints (flattened) the model satisfies.
+    pub constraints: Vec<Tagged>,
+    /// `true` if any solver Unknown or unsound shortcut was taken while
+    /// building this suffix.
+    pub approximate: bool,
+}
+
+impl ExecutionSuffix {
+    /// Total instructions across all steps.
+    pub fn total_steps(&self) -> u64 {
+        self.steps.iter().map(|s| s.steps).sum()
+    }
+
+    /// Number of block-granular steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the suffix has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Thread ids participating in the suffix, in first-use order.
+    pub fn threads(&self) -> Vec<ThreadId> {
+        let mut out = Vec::new();
+        for s in &self.steps {
+            if !out.contains(&s.tid) {
+                out.push(s.tid);
+            }
+        }
+        out
+    }
+
+    /// The block-granular schedule `(tid, steps)` for replay.
+    pub fn schedule(&self) -> Vec<(ThreadId, u64)> {
+        self.steps.iter().map(|s| (s.tid, s.steps)).collect()
+    }
+
+    /// The union read set (§3.3: "RES automatically focuses developers'
+    /// attention on the recently read or written state").
+    pub fn read_set(&self) -> Vec<(u64, Width)> {
+        let mut out: Vec<(u64, Width)> = self.steps.iter().flat_map(|s| s.reads.clone()).collect();
+        out.sort_unstable_by_key(|&(a, w)| (a, w.bytes()));
+        out.dedup();
+        out
+    }
+
+    /// The union write set.
+    pub fn write_set(&self) -> Vec<(u64, Width)> {
+        let mut out: Vec<(u64, Width)> = self.steps.iter().flat_map(|s| s.writes.clone()).collect();
+        out.sort_unstable_by_key(|&(a, w)| (a, w.bytes()));
+        out.dedup();
+        out
+    }
+
+    /// Whether any input consumed in the suffix is attacker-controlled
+    /// (network) — the §3.1 exploitability signal.
+    pub fn consumes_attacker_input(&self) -> bool {
+        self.steps
+            .iter()
+            .flat_map(|s| s.input_kinds.iter())
+            .any(|k| k.attacker_controlled())
+    }
+
+    /// Registers pinned by call-binding constraints (diagnostics).
+    pub fn call_bound_regs(&self) -> Vec<Reg> {
+        self.constraints
+            .iter()
+            .filter_map(|t| match t.tag {
+                Tag::CallBind { reg } => Some(reg),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvm_isa::{BlockId, FuncId};
+
+    fn step(tid: ThreadId, n: u64) -> SuffixStep {
+        SuffixStep {
+            tid,
+            frame_depth: 0,
+            start: Loc::block_start(FuncId(0), BlockId(0)),
+            end: EndPoint {
+                depth_delta: 0,
+                loc: Loc::block_start(FuncId(0), BlockId(1)),
+            },
+            transfers: vec![],
+            inputs: vec![],
+            input_kinds: vec![InputKind::Network],
+            allocs: 0,
+            frees: vec![],
+            reads: vec![(0x100, Width::W8)],
+            writes: vec![(0x108, Width::W8), (0x100, Width::W8)],
+            steps: n,
+        }
+    }
+
+    fn suffix() -> ExecutionSuffix {
+        ExecutionSuffix {
+            steps: vec![step(0, 3), step(1, 2), step(0, 1)],
+            model: Model::new(),
+            initial_cells: vec![],
+            initial_regs: BTreeMap::new(),
+            start_positions: BTreeMap::new(),
+            inputs: BTreeMap::new(),
+            constraints: vec![],
+            approximate: false,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = suffix();
+        assert_eq!(s.total_steps(), 6);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.threads(), vec![0, 1]);
+        assert_eq!(s.schedule(), vec![(0, 3), (1, 2), (0, 1)]);
+        assert!(s.consumes_attacker_input());
+    }
+
+    #[test]
+    fn read_write_sets_dedup() {
+        let s = suffix();
+        assert_eq!(s.read_set(), vec![(0x100, Width::W8)]);
+        assert_eq!(s.write_set(), vec![(0x100, Width::W8), (0x108, Width::W8)]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Unsigned interval abstract domain.
+//!
+//! Intervals drive the solver's propagation phase: each unbound symbol
+//! carries a `[lo, hi]` range that comparisons against constants narrow.
+//! The domain is deliberately simple (no wrapping intervals); operations
+//! that would wrap return [`Interval::TOP`], which is always sound.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed unsigned interval `[lo, hi]`; empty when `lo > hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The full domain.
+    pub const TOP: Interval = Interval { lo: 0, hi: u64::MAX };
+
+    /// A singleton interval.
+    pub fn point(v: u64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`, normalized to empty if inverted.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// `true` if the interval contains no values.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// `true` if the interval is a single value.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Number of values, saturating at `u64::MAX`.
+    pub fn count(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi - self.lo).saturating_add(1)
+        }
+    }
+
+    /// `true` if `v` is inside.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Intersection.
+    pub fn meet(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Convex union.
+    pub fn join(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Sound addition (TOP on potential wraparound).
+    pub fn add(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::new(1, 0);
+        }
+        match (self.lo.checked_add(other.lo), self.hi.checked_add(other.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Sound subtraction (TOP on potential wraparound).
+    pub fn sub(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::new(1, 0);
+        }
+        match (self.lo.checked_sub(other.hi), self.hi.checked_sub(other.lo)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Refines under `self < bound` (strict unsigned).
+    pub fn refine_lt(&self, bound: u64) -> Interval {
+        if bound == 0 {
+            return Interval::new(1, 0);
+        }
+        self.meet(&Interval::new(0, bound - 1))
+    }
+
+    /// Refines under `self <= bound`.
+    pub fn refine_le(&self, bound: u64) -> Interval {
+        self.meet(&Interval::new(0, bound))
+    }
+
+    /// Refines under `self > bound`.
+    pub fn refine_gt(&self, bound: u64) -> Interval {
+        if bound == u64::MAX {
+            return Interval::new(1, 0);
+        }
+        self.meet(&Interval::new(bound + 1, u64::MAX))
+    }
+
+    /// Refines under `self >= bound`.
+    pub fn refine_ge(&self, bound: u64) -> Interval {
+        self.meet(&Interval::new(bound, u64::MAX))
+    }
+
+    /// Refines under `self != v` when `v` is an endpoint (the only case
+    /// a convex interval can express).
+    pub fn refine_ne(&self, v: u64) -> Interval {
+        if self.is_point() && self.lo == v {
+            return Interval::new(1, 0);
+        }
+        if self.lo == v {
+            return Interval::new(self.lo.saturating_add(1), self.hi);
+        }
+        if self.hi == v {
+            return Interval::new(self.lo, self.hi.saturating_sub(1));
+        }
+        *self
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::TOP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emptiness_and_counting() {
+        assert!(Interval::new(5, 4).is_empty());
+        assert_eq!(Interval::new(5, 4).count(), 0);
+        assert_eq!(Interval::point(9).count(), 1);
+        assert_eq!(Interval::new(0, 9).count(), 10);
+        assert_eq!(Interval::TOP.count(), u64::MAX);
+    }
+
+    #[test]
+    fn meet_and_join() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.meet(&b), Interval::new(5, 10));
+        assert_eq!(a.join(&b), Interval::new(0, 20));
+        assert!(Interval::new(0, 3).meet(&Interval::new(5, 9)).is_empty());
+    }
+
+    #[test]
+    fn join_with_empty_is_identity() {
+        let a = Interval::new(3, 7);
+        let empty = Interval::new(1, 0);
+        assert_eq!(a.join(&empty), a);
+        assert_eq!(empty.join(&a), a);
+    }
+
+    #[test]
+    fn arithmetic_is_sound() {
+        let a = Interval::new(1, 3);
+        let b = Interval::new(10, 20);
+        assert_eq!(a.add(&b), Interval::new(11, 23));
+        assert_eq!(b.sub(&a), Interval::new(7, 19));
+        // Wraparound possibility collapses to TOP.
+        assert_eq!(Interval::new(0, u64::MAX).add(&Interval::point(1)), Interval::TOP);
+        assert_eq!(Interval::new(0, 5).sub(&Interval::point(1)), Interval::TOP);
+    }
+
+    #[test]
+    fn refinements() {
+        let t = Interval::TOP;
+        assert_eq!(t.refine_lt(10), Interval::new(0, 9));
+        assert!(t.refine_lt(0).is_empty());
+        assert_eq!(t.refine_le(10), Interval::new(0, 10));
+        assert_eq!(t.refine_gt(10), Interval::new(11, u64::MAX));
+        assert!(t.refine_gt(u64::MAX).is_empty());
+        assert_eq!(t.refine_ge(10).lo, 10);
+    }
+
+    #[test]
+    fn refine_ne_trims_endpoints_only() {
+        let a = Interval::new(3, 9);
+        assert_eq!(a.refine_ne(3), Interval::new(4, 9));
+        assert_eq!(a.refine_ne(9), Interval::new(3, 8));
+        assert_eq!(a.refine_ne(5), a);
+        assert!(Interval::point(4).refine_ne(4).is_empty());
+    }
+}

@@ -1,0 +1,750 @@
+//! A from-scratch constraint solver for RES-style constraint sets.
+//!
+//! Three cooperating phases (see the crate docs for why this is enough
+//! for block-level reverse synthesis):
+//!
+//! 1. **Equality isolation** — `σ + 5 == 12`-style constraints are
+//!    solved exactly by inverting the arithmetic spine (add/sub/xor/not/
+//!    neg/odd-mul are invertible on `u64`).
+//! 2. **Interval propagation** — unsigned comparisons against constants
+//!    narrow per-symbol ranges; an empty range proves unsatisfiability.
+//! 3. **Bounded enumeration** — remaining symbols are searched over a
+//!    candidate set seeded with the constraints' own constants, interval
+//!    endpoints, small values, and deterministic pseudo-random probes.
+//!
+//! The verdict is three-valued: [`SolveResult::Unsat`] is only returned
+//! when *proven* (contradiction during propagation, or exhaustive
+//! enumeration of a complete finite candidate space); budget exhaustion
+//! yields [`SolveResult::Unknown`], which RES treats conservatively.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mvm_isa::{BinOp, UnOp};
+
+use crate::expr::{Expr, ExprRef, SymId};
+use crate::interval::Interval;
+use crate::model::Model;
+
+/// Solver tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Maximum full assignments tried during enumeration.
+    pub max_assignments: u64,
+    /// Maximum propagation rounds.
+    pub max_rounds: usize,
+    /// Pseudo-random probe values per symbol.
+    pub probes_per_symbol: usize,
+    /// Domains at most this large are enumerated exhaustively, allowing
+    /// a definitive Unsat.
+    pub exhaustive_domain: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_assignments: 20_000,
+            max_rounds: 32,
+            probes_per_symbol: 8,
+            exhaustive_domain: 256,
+        }
+    }
+}
+
+/// The outcome of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a witness.
+    Sat(Model),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Budget exhausted without a verdict.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `true` if definitely satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// `true` if proven unsatisfiable.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+}
+
+/// The constraint solver.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+/// Multiplicative inverse of an odd `u64` (Newton's method).
+fn odd_inverse(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1);
+    let mut x = a; // 3 bits correct
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x
+}
+
+/// Outcome of trying to isolate `expr == target` down to a symbol.
+enum Isolated {
+    /// `sym` must equal the value.
+    Bind(SymId, u64),
+    /// The equation is contradictory (e.g. `shl` with bad low bits).
+    Contradiction,
+    /// Not invertible down to a single symbol.
+    NoProgress,
+}
+
+fn isolate(e: &ExprRef, target: u64) -> Isolated {
+    match &**e {
+        Expr::Sym(s) => Isolated::Bind(*s, target),
+        Expr::Const(c) => {
+            if *c == target {
+                // Trivially true; caller drops the constraint.
+                Isolated::NoProgress
+            } else {
+                Isolated::Contradiction
+            }
+        }
+        Expr::Un(UnOp::Neg, a) => isolate(a, target.wrapping_neg()),
+        Expr::Un(UnOp::Not, a) => isolate(a, !target),
+        Expr::Bin(op, a, b) => {
+            match (op, a.as_const(), b.as_const()) {
+                (BinOp::Add, _, Some(c)) => isolate(a, target.wrapping_sub(c)),
+                (BinOp::Sub, _, Some(c)) => isolate(a, target.wrapping_add(c)),
+                (BinOp::Sub, Some(c), _) => isolate(b, c.wrapping_sub(target)),
+                (BinOp::Xor, _, Some(c)) => isolate(a, target ^ c),
+                (BinOp::Mul, _, Some(c)) if c & 1 == 1 && a.as_const() != Some(0) => {
+                    isolate(a, target.wrapping_mul(odd_inverse(c)))
+                }
+                (BinOp::Shl, _, Some(c)) if c < 64 => {
+                    // a << c == target requires target's low c bits zero;
+                    // the high bits of `a` are unconstrained, so only
+                    // detect contradiction, don't bind.
+                    if target & ((1u64 << c) - 1) != 0 {
+                        Isolated::Contradiction
+                    } else {
+                        Isolated::NoProgress
+                    }
+                }
+                _ => Isolated::NoProgress,
+            }
+        }
+    }
+}
+
+/// Negates a comparison operator (`(a op b) == 0` rewriting).
+fn negate_cmp(op: BinOp) -> Option<(BinOp, bool)> {
+    // Returns (new_op, swap_operands).
+    Some(match op {
+        BinOp::Eq => (BinOp::Ne, false),
+        BinOp::Ne => (BinOp::Eq, false),
+        BinOp::LtU => (BinOp::LeU, true),
+        BinOp::LeU => (BinOp::LtU, true),
+        BinOp::LtS => (BinOp::LeS, true),
+        BinOp::LeS => (BinOp::LtS, true),
+        _ => return None,
+    })
+}
+
+struct State {
+    bindings: BTreeMap<SymId, u64>,
+    intervals: BTreeMap<SymId, Interval>,
+    constraints: Vec<ExprRef>,
+}
+
+impl State {
+    fn bind(&mut self, s: SymId, v: u64) -> Result<bool, ()> {
+        if let Some(&old) = self.bindings.get(&s) {
+            return if old == v { Ok(false) } else { Err(()) };
+        }
+        if !self.intervals.get(&s).copied().unwrap_or_default().contains(v) {
+            return Err(());
+        }
+        self.bindings.insert(s, v);
+        Ok(true)
+    }
+
+    fn refine(&mut self, s: SymId, f: impl FnOnce(Interval) -> Interval) -> Result<bool, ()> {
+        let cur = self.intervals.get(&s).copied().unwrap_or_default();
+        let next = f(cur);
+        if next.is_empty() {
+            return Err(());
+        }
+        if next == cur {
+            return Ok(false);
+        }
+        self.intervals.insert(s, next);
+        if next.is_point() {
+            self.bind(s, next.lo).map(|_| true)
+        } else {
+            Ok(true)
+        }
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default budgets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with explicit budgets.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// Checks the conjunction of `constraints` (each truthy when
+    /// non-zero).
+    pub fn check(&self, constraints: &[ExprRef]) -> SolveResult {
+        let mut st = State {
+            bindings: BTreeMap::new(),
+            intervals: BTreeMap::new(),
+            constraints: constraints.to_vec(),
+        };
+        match self.propagate(&mut st) {
+            Err(()) => return SolveResult::Unsat,
+            Ok(()) => {}
+        }
+        if st.constraints.is_empty() {
+            let mut model = Model::new();
+            for (&s, &v) in &st.bindings {
+                model.set(s, v);
+            }
+            // Unconstrained symbols take their interval's low point.
+            for (&s, iv) in &st.intervals {
+                if model.get(s).is_none() {
+                    model.set(s, iv.lo);
+                }
+            }
+            return SolveResult::Sat(model);
+        }
+        self.enumerate(st)
+    }
+
+    /// Convenience: check and demand a model.
+    pub fn solve(&self, constraints: &[ExprRef]) -> Option<Model> {
+        match self.check(constraints) {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn propagate(&self, st: &mut State) -> Result<(), ()> {
+        for _ in 0..self.config.max_rounds {
+            let mut changed = false;
+            let mut next: Vec<ExprRef> = Vec::with_capacity(st.constraints.len());
+            let bindings = st.bindings.clone();
+            for c in std::mem::take(&mut st.constraints) {
+                let c = c.substitute(&|s| bindings.get(&s).map(|&v| Expr::konst(v)));
+                match c.as_const() {
+                    Some(0) => return Err(()),
+                    Some(_) => {
+                        changed = true;
+                        continue;
+                    }
+                    None => {}
+                }
+                match self.extract(&c, st) {
+                    Err(()) => return Err(()),
+                    Ok(Some(())) => changed = true,
+                    Ok(None) => next.push(c),
+                }
+            }
+            st.constraints = next;
+            if !changed {
+                break;
+            }
+        }
+        // Final substitution + tautology sweep.
+        let bindings = st.bindings.clone();
+        let mut out = Vec::new();
+        for c in std::mem::take(&mut st.constraints) {
+            let c = c.substitute(&|s| bindings.get(&s).map(|&v| Expr::konst(v)));
+            match c.as_const() {
+                Some(0) => return Err(()),
+                Some(_) => {}
+                None => out.push(c),
+            }
+        }
+        st.constraints = out;
+        Ok(())
+    }
+
+    /// Tries to turn one constraint into bindings / interval
+    /// refinements. `Ok(Some(()))` means the constraint was fully
+    /// absorbed; `Ok(None)` keeps it.
+    fn extract(&self, c: &ExprRef, st: &mut State) -> Result<Option<()>, ()> {
+        match &**c {
+            // A bare symbol as a constraint: σ != 0.
+            Expr::Sym(s) => {
+                st.refine(*s, |iv| iv.refine_ne(0)).map_err(|_| ())?;
+                Ok(Some(()))
+            }
+            Expr::Bin(BinOp::Eq, a, b) => {
+                // `(cmp ...) == 0` → negated comparison.
+                if b.as_const() == Some(0) {
+                    if let Expr::Bin(op, x, y) = &**a {
+                        if let Some((nop, swap)) = negate_cmp(*op) {
+                            let (x, y) = if swap { (y.clone(), x.clone()) } else { (x.clone(), y.clone()) };
+                            let rewritten = Expr::bin(nop, x, y);
+                            return self.extract(&rewritten, st).map(|r| match r {
+                                Some(()) => Some(()),
+                                None => {
+                                    st.constraints.push(rewritten);
+                                    Some(())
+                                }
+                            });
+                        }
+                    }
+                }
+                if let Some(t) = b.as_const() {
+                    match isolate(a, t) {
+                        Isolated::Bind(s, v) => {
+                            st.bind(s, v).map_err(|_| ())?;
+                            return Ok(Some(()));
+                        }
+                        Isolated::Contradiction => return Err(()),
+                        Isolated::NoProgress => {}
+                    }
+                }
+                if let Some(t) = a.as_const() {
+                    match isolate(b, t) {
+                        Isolated::Bind(s, v) => {
+                            st.bind(s, v).map_err(|_| ())?;
+                            return Ok(Some(()));
+                        }
+                        Isolated::Contradiction => return Err(()),
+                        Isolated::NoProgress => {}
+                    }
+                }
+                Ok(None)
+            }
+            Expr::Bin(BinOp::Ne, a, b) => {
+                if let (Some(s), Some(v)) = (a.as_sym(), b.as_const()) {
+                    st.refine(s, |iv| iv.refine_ne(v)).map_err(|_| ())?;
+                    return Ok(Some(()));
+                }
+                Ok(None)
+            }
+            Expr::Bin(BinOp::LtU, a, b) => {
+                let mut used = false;
+                if let (Some(s), Some(v)) = (a.as_sym(), b.as_const()) {
+                    st.refine(s, |iv| iv.refine_lt(v)).map_err(|_| ())?;
+                    used = true;
+                }
+                if let (Some(v), Some(s)) = (a.as_const(), b.as_sym()) {
+                    st.refine(s, |iv| iv.refine_gt(v)).map_err(|_| ())?;
+                    used = true;
+                }
+                Ok(used.then_some(()))
+            }
+            Expr::Bin(BinOp::LeU, a, b) => {
+                let mut used = false;
+                if let (Some(s), Some(v)) = (a.as_sym(), b.as_const()) {
+                    st.refine(s, |iv| iv.refine_le(v)).map_err(|_| ())?;
+                    used = true;
+                }
+                if let (Some(v), Some(s)) = (a.as_const(), b.as_sym()) {
+                    st.refine(s, |iv| iv.refine_ge(v)).map_err(|_| ())?;
+                    used = true;
+                }
+                Ok(used.then_some(()))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn enumerate(&self, st: State) -> SolveResult {
+        // Free symbols of the residual constraints.
+        let mut syms: BTreeSet<SymId> = BTreeSet::new();
+        for c in &st.constraints {
+            syms.extend(c.symbols());
+        }
+        let syms: Vec<SymId> = syms.into_iter().collect();
+        if syms.is_empty() {
+            // Residual constraints with no symbols should have folded.
+            return SolveResult::Unknown;
+        }
+        // Seed constants from the constraints.
+        let mut seeds: BTreeSet<u64> = BTreeSet::new();
+        for c in &st.constraints {
+            for k in c.constants() {
+                seeds.insert(k);
+                seeds.insert(k.wrapping_add(1));
+                seeds.insert(k.wrapping_sub(1));
+            }
+        }
+        seeds.insert(0);
+        seeds.insert(1);
+        seeds.insert(u64::MAX);
+
+        // Candidate lists per symbol.
+        let mut candidates: Vec<Vec<u64>> = Vec::with_capacity(syms.len());
+        let mut complete = true;
+        for (i, &s) in syms.iter().enumerate() {
+            let iv = st.intervals.get(&s).copied().unwrap_or_default();
+            let mut cs: BTreeSet<u64> = BTreeSet::new();
+            if iv.count() <= self.config.exhaustive_domain {
+                for v in iv.lo..=iv.hi {
+                    cs.insert(v);
+                }
+            } else {
+                complete = false;
+                cs.insert(iv.lo);
+                cs.insert(iv.hi);
+                for &k in &seeds {
+                    if iv.contains(k) {
+                        cs.insert(k);
+                    }
+                }
+                // Deterministic probes.
+                let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ ((s as u64 + 1) * (i as u64 + 1));
+                for _ in 0..self.config.probes_per_symbol {
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    let v = iv.lo.wrapping_add(x.wrapping_mul(0x2545_f491_4f6c_dd1d) % iv.count().max(1));
+                    if iv.contains(v) {
+                        cs.insert(v);
+                    }
+                }
+            }
+            candidates.push(cs.into_iter().collect());
+        }
+        // Order symbols by ascending candidate count (fail fast).
+        let mut order: Vec<usize> = (0..syms.len()).collect();
+        order.sort_by_key(|&i| candidates[i].len());
+
+        let mut assignment: BTreeMap<SymId, u64> = st.bindings.clone();
+        let mut budget = self.config.max_assignments;
+        let found = self.dfs(
+            &st.constraints,
+            &syms,
+            &candidates,
+            &order,
+            0,
+            &mut assignment,
+            &mut budget,
+        );
+        match found {
+            Some(model_map) => {
+                let mut model = Model::new();
+                for (s, v) in model_map {
+                    model.set(s, v);
+                }
+                SolveResult::Sat(model)
+            }
+            None if complete && budget > 0 => SolveResult::Unsat,
+            None => SolveResult::Unknown,
+        }
+    }
+
+    /// Checks whether any constraint, specialized to the current partial
+    /// assignment, pins symbol `s` to a unique value. Returns
+    /// `Some(Ok(v))` when forced, `Some(Err(()))` when contradictory,
+    /// `None` when unconstrained.
+    fn forced_value(
+        &self,
+        constraints: &[ExprRef],
+        assignment: &BTreeMap<SymId, u64>,
+        s: SymId,
+    ) -> Option<Result<u64, ()>> {
+        for c in constraints {
+            let syms = c.symbols();
+            if !syms.contains(&s) {
+                continue;
+            }
+            // Every *other* symbol must already be assigned.
+            if !syms.iter().all(|q| *q == s || assignment.contains_key(q)) {
+                continue;
+            }
+            let specialized =
+                c.substitute(&|q| assignment.get(&q).map(|&v| Expr::konst(v)));
+            if let Expr::Bin(BinOp::Eq, a, b) = &*specialized {
+                let (expr, target) = match (a.as_const(), b.as_const()) {
+                    (Some(t), None) => (b, t),
+                    (None, Some(t)) => (a, t),
+                    _ => continue,
+                };
+                match isolate(expr, target) {
+                    Isolated::Bind(q, v) if q == s => return Some(Ok(v)),
+                    Isolated::Contradiction => return Some(Err(())),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        constraints: &[ExprRef],
+        syms: &[SymId],
+        candidates: &[Vec<u64>],
+        order: &[usize],
+        depth: usize,
+        assignment: &mut BTreeMap<SymId, u64>,
+        budget: &mut u64,
+    ) -> Option<BTreeMap<SymId, u64>> {
+        if *budget == 0 {
+            return None;
+        }
+        if depth == order.len() {
+            *budget -= 1;
+            let ok = constraints.iter().all(|c| {
+                c.eval(&|s| assignment.get(&s).copied())
+                    .is_some_and(|v| v != 0)
+            });
+            return ok.then(|| assignment.clone());
+        }
+        let idx = order[depth];
+        let s = syms[idx];
+        // If, under the current partial assignment, some constraint
+        // reduces to an invertible equality on `s`, its value is forced:
+        // enumerate just that value (Contradiction prunes the branch).
+        let forced = self.forced_value(constraints, assignment, s);
+        let forced_list;
+        let values: &[u64] = match forced {
+            Some(Ok(v)) => {
+                forced_list = [v];
+                &forced_list
+            }
+            Some(Err(())) => &[],
+            None => &candidates[idx],
+        };
+        for &v in values {
+            if *budget == 0 {
+                return None;
+            }
+            assignment.insert(s, v);
+            // Early pruning: evaluate constraints that are fully
+            // assigned so far.
+            let viable = constraints.iter().all(|c| {
+                match c.eval(&|q| assignment.get(&q).copied()) {
+                    Some(0) => false,
+                    Some(_) | None => true,
+                }
+            });
+            if viable {
+                if let Some(m) =
+                    self.dfs(constraints, syms, candidates, order, depth + 1, assignment, budget)
+                {
+                    return Some(m);
+                }
+            } else {
+                *budget = budget.saturating_sub(1);
+            }
+            assignment.remove(&s);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(id: SymId) -> ExprRef {
+        Expr::sym(id)
+    }
+
+    fn k(v: u64) -> ExprRef {
+        Expr::konst(v)
+    }
+
+    fn eq(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let solver = Solver::new();
+        assert!(solver.check(&[k(1)]).is_sat());
+        assert!(solver.check(&[k(0)]).is_unsat());
+        assert!(solver.check(&[]).is_sat());
+    }
+
+    #[test]
+    fn isolates_linear_equations() {
+        let solver = Solver::new();
+        // σ0 + 5 == 12 → σ0 = 7.
+        let c = eq(Expr::bin(BinOp::Add, s(0), k(5)), k(12));
+        let m = solver.solve(&[c]).unwrap();
+        assert_eq!(m.get(0), Some(7));
+    }
+
+    #[test]
+    fn isolates_through_chains() {
+        let solver = Solver::new();
+        // ((σ0 ^ 0xff) - 3) == 10 → σ0 = 13 ^ 0xff.
+        let c = eq(
+            Expr::bin(BinOp::Sub, Expr::bin(BinOp::Xor, s(0), k(0xff)), k(3)),
+            k(10),
+        );
+        let m = solver.solve(&[c]).unwrap();
+        assert_eq!(m.get(0), Some(13 ^ 0xff));
+    }
+
+    #[test]
+    fn isolates_odd_multiplication() {
+        let solver = Solver::new();
+        // σ0 * 3 == 42 → σ0 = 14.
+        let c = eq(Expr::bin(BinOp::Mul, s(0), k(3)), k(42));
+        let m = solver.solve(&[c]).unwrap();
+        assert_eq!(m.get(0), Some(14));
+    }
+
+    #[test]
+    fn isolates_negation_and_not() {
+        let solver = Solver::new();
+        let c = eq(Expr::un(UnOp::Neg, s(0)), k(5u64.wrapping_neg()));
+        assert_eq!(solver.solve(&[c]).unwrap().get(0), Some(5));
+        let c = eq(Expr::un(UnOp::Not, s(1)), k(!77));
+        assert_eq!(solver.solve(&[c]).unwrap().get(1), Some(77));
+    }
+
+    #[test]
+    fn conflicting_equalities_unsat() {
+        let solver = Solver::new();
+        let c1 = eq(s(0), k(1));
+        let c2 = eq(s(0), k(2));
+        assert!(solver.check(&[c1, c2]).is_unsat());
+    }
+
+    #[test]
+    fn interval_contradiction_unsat() {
+        let solver = Solver::new();
+        // σ0 < 5 and σ0 == 9.
+        let c1 = Expr::bin(BinOp::LtU, s(0), k(5));
+        let c2 = eq(s(0), k(9));
+        assert!(solver.check(&[c1, c2]).is_unsat());
+    }
+
+    #[test]
+    fn bounded_domain_enumerated_exhaustively() {
+        let solver = Solver::new();
+        // σ0 < 4 and σ0*σ0 == 9 → σ0 = 3.
+        let c1 = Expr::bin(BinOp::LtU, s(0), k(4));
+        let c2 = eq(Expr::bin(BinOp::Mul, s(0), s(0)), k(9));
+        let m = solver.solve(&[c1, c2]).unwrap();
+        assert_eq!(m.get(0), Some(3));
+    }
+
+    #[test]
+    fn bounded_domain_proves_unsat() {
+        let solver = Solver::new();
+        // σ0 < 4 and σ0*σ0 == 10 — nothing works; domain complete.
+        let c1 = Expr::bin(BinOp::LtU, s(0), k(4));
+        let c2 = eq(Expr::bin(BinOp::Mul, s(0), s(0)), k(10));
+        assert!(solver.check(&[c1, c2]).is_unsat());
+    }
+
+    #[test]
+    fn constant_seeding_cracks_equalities() {
+        let solver = Solver::new();
+        // σ0 & 0xf0 == 0x30 over an unbounded domain — seeds include
+        // 0x30 ± 1 and friends; 0x30 itself satisfies.
+        let c = eq(Expr::bin(BinOp::And, s(0), k(0xf0)), k(0x30));
+        let m = solver.solve(&[c]).unwrap();
+        assert_eq!(m.get_or_zero(0) & 0xf0, 0x30);
+    }
+
+    #[test]
+    fn two_symbol_system() {
+        let solver = Solver::new();
+        // σ0 + σ1 == 10, σ0 == 4.
+        let c1 = eq(Expr::bin(BinOp::Add, s(0), s(1)), k(10));
+        let c2 = eq(s(0), k(4));
+        let m = solver.solve(&[c1, c2]).unwrap();
+        assert_eq!(m.get(0), Some(4));
+        assert_eq!(m.get(1), Some(6));
+    }
+
+    #[test]
+    fn negated_comparison_rewrites() {
+        let solver = Solver::new();
+        // (σ0 < 10) == 0 → σ0 >= 10; with σ0 <= 10 → σ0 = 10.
+        let lt = Expr::bin(BinOp::LtU, s(0), k(10));
+        let c1 = eq(lt, k(0));
+        let c2 = Expr::bin(BinOp::LeU, s(0), k(10));
+        let m = solver.solve(&[c1, c2]).unwrap();
+        assert_eq!(m.get(0), Some(10));
+    }
+
+    #[test]
+    fn bare_symbol_constraint_means_nonzero() {
+        let solver = Solver::new();
+        let c1 = s(0);
+        let c2 = Expr::bin(BinOp::LeU, s(0), k(1));
+        let m = solver.solve(&[c1, c2]).unwrap();
+        assert_eq!(m.get(0), Some(1));
+    }
+
+    #[test]
+    fn disequality_enumeration() {
+        let solver = Solver::new();
+        // σ0 != 0, σ0 != 1, σ0 <= 2 → σ0 = 2.
+        let c1 = Expr::bin(BinOp::Ne, s(0), k(0));
+        let c2 = Expr::bin(BinOp::Ne, s(0), k(1));
+        let c3 = Expr::bin(BinOp::LeU, s(0), k(2));
+        let m = solver.solve(&[c1, c2, c3]).unwrap();
+        assert_eq!(m.get(0), Some(2));
+    }
+
+    #[test]
+    fn unknown_on_hard_unbounded_problems() {
+        // σ0 * σ0 == 0x4000000000000001 over the full domain with a tiny
+        // budget: no seed hits it, so the solver must answer Unknown,
+        // never a false Unsat.
+        let solver = Solver::with_config(SolverConfig {
+            max_assignments: 100,
+            ..SolverConfig::default()
+        });
+        let c = eq(Expr::bin(BinOp::Mul, s(0), s(0)), k(0x4000_0000_0000_0001));
+        let r = solver.check(&[c]);
+        assert!(!r.is_unsat(), "must not claim unsat: {r:?}");
+    }
+
+    #[test]
+    fn shl_low_bits_contradiction() {
+        let solver = Solver::new();
+        // σ0 << 4 == 3 is impossible.
+        let c = eq(Expr::bin(BinOp::Shl, s(0), k(4)), k(3));
+        assert!(solver.check(&[c]).is_unsat());
+    }
+
+    #[test]
+    fn model_satisfies_all_constraints() {
+        let solver = Solver::new();
+        let cs = vec![
+            eq(Expr::bin(BinOp::Add, s(0), s(1)), k(100)),
+            Expr::bin(BinOp::LtU, s(0), k(50)),
+            Expr::bin(BinOp::LtU, k(40), s(0)),
+        ];
+        let m = solver.solve(&cs).unwrap();
+        for c in &cs {
+            assert_eq!(m.eval_total(c).map(|v| v != 0), Some(true), "violated: {c}");
+        }
+    }
+
+    #[test]
+    fn odd_inverse_correct() {
+        for a in [1u64, 3, 5, 7, 0xdead_beef | 1, u64::MAX] {
+            assert_eq!(a.wrapping_mul(odd_inverse(a)), 1, "inv({a})");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # Bug-report triaging with RES (paper §3.1, §3.2)
+//!
+//! The paper's three use cases, built on the `res-core` engine:
+//!
+//! * [`bucket`] — triage failure reports by *synthesized root cause*
+//!   instead of call-stack signature; measured against the WER-like
+//!   baseline on labeled corpora (experiment E5).
+//! * [`exploit`] — rate exploitability from suffix evidence (did
+//!   attacker-controlled input flow into the failing window?) instead of
+//!   `!exploitable`-style fault-shape heuristics (experiment E6).
+//! * [`hwfilter`] — filter out failures that no feasible execution
+//!   explains (hardware errors) before they reach developers
+//!   (experiment E7).
+
+pub mod bucket;
+pub mod exploit;
+pub mod hwfilter;
+
+pub use bucket::{res_bucket_keys, triage_corpus, TriageComparison};
+pub use exploit::{classify_with_res, exploitability_study, ExploitStudy};
+pub use hwfilter::{filter_corpus, HwFilterStudy};

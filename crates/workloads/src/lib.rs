@@ -1,0 +1,19 @@
+//! # Synthetic buggy workloads
+//!
+//! `res-workloads` provides the programs the evaluation runs on: one
+//! generator per bug class (the three §4 concurrency bugs, the Figure 1
+//! overflow, memory-safety bugs, semantic bugs, the §6 hash-chain
+//! construct), each with a **prefix-length knob** — a configurable churn
+//! loop executed before the buggy region. The knob is what makes
+//! executions "arbitrarily long" (the title claim, experiment E3): the
+//! bug's distance from the start of the execution grows without bound
+//! while its distance from the failure stays fixed.
+//!
+//! [`corpus`] turns the generators into labeled failure corpora for the
+//! triaging and hardware-error experiments.
+
+pub mod corpus;
+pub mod progs;
+
+pub use corpus::{generate_corpus, run_to_failure, CorpusSpec, FailureReport};
+pub use progs::{build, BugKind, WorkloadParams};

@@ -1,0 +1,548 @@
+//! Bug-program generators.
+//!
+//! Programs are written in MicroVM assembly with a shared *prefix*
+//! harness: `main` first runs `prefix_iters` iterations of a churn loop
+//! (arithmetic plus stores to a scratch global — real work that a
+//! forward-synthesis tool must traverse), then enters the buggy region.
+
+use mvm_isa::{asm::assemble, Program};
+
+/// The bug classes the evaluation covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugKind {
+    /// §4: unsynchronized counter increments lose updates; an assertion
+    /// over the counter fails.
+    DataRace,
+    /// §4: a check/act pair of one thread is split by another thread's
+    /// write.
+    AtomicityViolation,
+    /// §4: a consumer uses a shared pointer before the producer
+    /// publishes it (order violation).
+    OrderViolation,
+    /// Figure 1: buffer overflow whose index depends on which
+    /// predecessor executed.
+    Figure1,
+    /// Heap overflow with an attacker-controlled (network) index.
+    HeapOverflowTainted,
+    /// Heap overflow with a locally computed index (not exploitable).
+    HeapOverflowLocal,
+    /// Use-after-free: free then read.
+    UseAfterFree,
+    /// Double free.
+    DoubleFree,
+    /// A failed semantic assertion (no concurrency involved).
+    SemanticAssert,
+    /// Two threads acquire two mutexes in opposite orders.
+    Deadlock,
+    /// Division by a value that reaches zero.
+    DivByZero,
+    /// §6: the crash value flows through a hard-to-invert hash chain;
+    /// the inputs are still in memory, so re-execution recovers them.
+    HashChain,
+    /// A racy writer nulls a shared pointer; one of several consumers
+    /// (input-selected) dereferences it — same root cause, many call
+    /// stacks (the §3.1 triaging phenomenon).
+    RaceNullDeref,
+    /// A use-after-free that manifests at the *same* deref helper as
+    /// [`BugKind::RaceNullDeref`] — different root cause, same call
+    /// stack (the other half of the §3.1 phenomenon).
+    UafSameStack,
+}
+
+impl BugKind {
+    /// All kinds, for corpus sweeps.
+    pub const ALL: [BugKind; 14] = [
+        BugKind::DataRace,
+        BugKind::AtomicityViolation,
+        BugKind::OrderViolation,
+        BugKind::Figure1,
+        BugKind::HeapOverflowTainted,
+        BugKind::HeapOverflowLocal,
+        BugKind::UseAfterFree,
+        BugKind::DoubleFree,
+        BugKind::SemanticAssert,
+        BugKind::Deadlock,
+        BugKind::DivByZero,
+        BugKind::HashChain,
+        BugKind::RaceNullDeref,
+        BugKind::UafSameStack,
+    ];
+
+    /// The three synthetic concurrency bugs of the paper's §4
+    /// evaluation.
+    pub const HOTOS_EVAL: [BugKind; 3] = [
+        BugKind::DataRace,
+        BugKind::AtomicityViolation,
+        BugKind::OrderViolation,
+    ];
+
+    /// A stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BugKind::DataRace => "data-race",
+            BugKind::AtomicityViolation => "atomicity-violation",
+            BugKind::OrderViolation => "order-violation",
+            BugKind::Figure1 => "figure1-overflow",
+            BugKind::HeapOverflowTainted => "heap-overflow-tainted",
+            BugKind::HeapOverflowLocal => "heap-overflow-local",
+            BugKind::UseAfterFree => "use-after-free",
+            BugKind::DoubleFree => "double-free",
+            BugKind::SemanticAssert => "semantic-assert",
+            BugKind::Deadlock => "deadlock",
+            BugKind::DivByZero => "div-by-zero",
+            BugKind::HashChain => "hash-chain",
+            BugKind::RaceNullDeref => "race-null-deref",
+            BugKind::UafSameStack => "uaf-same-stack",
+        }
+    }
+
+    /// `true` when the failing execution involves multiple threads.
+    pub fn is_concurrent(self) -> bool {
+        matches!(
+            self,
+            BugKind::DataRace
+                | BugKind::AtomicityViolation
+                | BugKind::OrderViolation
+                | BugKind::Deadlock
+                | BugKind::RaceNullDeref
+        )
+    }
+}
+
+/// Workload knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadParams {
+    /// Churn-loop iterations before the buggy region — the
+    /// "arbitrarily long" knob (each iteration is ~7 instructions).
+    pub prefix_iters: u64,
+    /// Hash rounds for [`BugKind::HashChain`].
+    pub hash_rounds: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            prefix_iters: 10,
+            hash_rounds: 4,
+        }
+    }
+}
+
+/// The shared churn prefix: `r20` iterations of store/arith work on a
+/// scratch global, then jump to `bug_entry`.
+fn prefix(iters: u64) -> String {
+    format!(
+        r#"
+        global scratch 8
+        func main() {{
+        entry:
+            mov r20, {iters}
+            addr r21, scratch
+            jmp churn
+        churn:
+            eq r22, r20, 0
+            br r22, bug_entry, churn_body
+        churn_body:
+            load r23, [r21]
+            add r23, r23, r20
+            xor r23, r23, 17
+            store r23, [r21]
+            sub r20, r20, 1
+            jmp churn
+        "#
+    )
+}
+
+/// Builds the program for a bug kind.
+///
+/// # Panics
+///
+/// Panics only on internal template errors (the templates are tested).
+pub fn build(kind: BugKind, params: WorkloadParams) -> Program {
+    let pre = prefix(params.prefix_iters);
+    let src = match kind {
+        BugKind::DataRace => format!(
+            r#"
+            global counter 8
+            global expect 8 = 40
+            func worker(1) {{
+            entry:
+                mov r2, 0
+                jmp loop
+            loop:
+                ltu r3, r2, 20
+                br r3, body, done
+            body:
+                load r6, [r0]
+                add r6, r6, 1
+                store r6, [r0]
+                add r2, r2, 1
+                jmp loop
+            done:
+                halt
+            }}
+            {pre}
+            bug_entry:
+                addr r0, counter
+                spawn r1, worker, r0
+                spawn r2, worker, r0
+                join r1
+                join r2
+                jmp check
+            check:
+                load r3, [r0]
+                addr r4, expect
+                load r5, [r4]
+                eq r6, r3, r5
+                assert r6, "increments lost to a data race"
+                halt
+            }}
+            "#
+        ),
+        BugKind::AtomicityViolation => format!(
+            r#"
+            global balance 8 = 100
+            func withdraw(1) {{
+            entry:
+                load r2, [r0]
+                ltu r3, 50, r2
+                br r3, do_withdraw, done
+            do_withdraw:
+                load r4, [r0]
+                sub r4, r4, 60
+                store r4, [r0]
+                jmp done
+            done:
+                halt
+            }}
+            {pre}
+            bug_entry:
+                addr r0, balance
+                spawn r1, withdraw, r0
+                spawn r2, withdraw, r0
+                join r1
+                join r2
+                jmp check
+            check:
+                load r3, [r0]
+                leu r4, r3, 100
+                assert r4, "balance underflowed: check/act split"
+                halt
+            }}
+            "#
+        ),
+        BugKind::OrderViolation => format!(
+            r#"
+            global shared 8
+            global init_flag 8
+            func producer(1) {{
+            entry:
+                store 4096, [r0]
+                addr r2, init_flag
+                store 1, [r2]
+                halt
+            }}
+            {pre}
+            bug_entry:
+                addr r0, shared
+                spawn r1, producer, r0
+                jmp consume
+            consume:
+                load r2, [r0]
+                divu r3, 4096, r2
+                join r1
+                halt
+            }}
+            "#
+        ),
+        BugKind::Figure1 => format!(
+            r#"
+            global buffer 40
+            global x 8
+            global y 8 = 40
+            global sel 8 = 1
+            {pre}
+            bug_entry:
+                addr r0, sel
+                load r1, [r0]
+                addr r2, x
+                br r1, pred1, pred2
+            pred1:
+                store 1, [r2]
+                jmp write
+            pred2:
+                store 2, [r2]
+                jmp write
+            write:
+                addr r3, y
+                load r4, [r3]
+                mul r5, r4, 8
+                addr r6, buffer
+                add r6, r6, r5
+                store 1, [r6]
+                halt
+            }}
+            "#
+        ),
+        BugKind::HeapOverflowTainted => format!(
+            r#"
+            {pre}
+            bug_entry:
+                alloc r0, 32
+                input r1, net
+                mul r2, r1, 8
+                add r3, r0, r2
+                store 255, [r3]
+                halt
+            }}
+            "#
+        ),
+        BugKind::HeapOverflowLocal => format!(
+            r#"
+            global limit 8 = 6
+            {pre}
+            bug_entry:
+                alloc r0, 32
+                addr r1, limit
+                load r2, [r1]
+                mul r3, r2, 8
+                add r4, r0, r3
+                store 255, [r4]
+                halt
+            }}
+            "#
+        ),
+        BugKind::UseAfterFree => format!(
+            r#"
+            {pre}
+            bug_entry:
+                alloc r0, 24
+                store 11, [r0]
+                store 22, [r0+8]
+                free r0
+                jmp reuse
+            reuse:
+                load r1, [r0+8]
+                halt
+            }}
+            "#
+        ),
+        BugKind::DoubleFree => format!(
+            r#"
+            {pre}
+            bug_entry:
+                alloc r0, 16
+                store 3, [r0]
+                free r0
+                jmp cleanup
+            cleanup:
+                free r0
+                halt
+            }}
+            "#
+        ),
+        BugKind::SemanticAssert => format!(
+            r#"
+            global config 8 = 7
+            {pre}
+            bug_entry:
+                addr r0, config
+                load r1, [r0]
+                remu r2, r1, 2
+                eq r3, r2, 0
+                assert r3, "config must be even"
+                halt
+            }}
+            "#
+        ),
+        BugKind::Deadlock => format!(
+            r#"
+            global m1 8
+            global m2 8
+            func worker(1) {{
+            entry:
+                addr r1, m2
+                lock r1
+                addr r2, m1
+                lock r2
+                unlock r2
+                unlock r1
+                halt
+            }}
+            {pre}
+            bug_entry:
+                addr r1, m1
+                lock r1
+                spawn r3, worker, 0
+                addr r2, m2
+                lock r2
+                unlock r2
+                unlock r1
+                join r3
+                halt
+            }}
+            "#
+        ),
+        BugKind::DivByZero => format!(
+            r#"
+            global quota 8 = 3
+            {pre}
+            bug_entry:
+                addr r0, quota
+                load r1, [r0]
+                sub r1, r1, 3
+                store r1, [r0]
+                jmp divide
+            divide:
+                load r2, [r0]
+                divu r3, 1000, r2
+                halt
+            }}
+            "#
+        ),
+        BugKind::HashChain => format!(
+            r#"
+            global seed_cell 8 = 12345
+            global digest 8
+            func hash(2) {{
+            entry:
+                mov r2, 0
+                jmp round
+            round:
+                ltu r3, r2, {rounds}
+                br r3, mix, done
+            mix:
+                mul r0, r0, 2654435761
+                xor r0, r0, r1
+                shl r4, r0, 13
+                xor r0, r0, r4
+                shr r4, r0, 7
+                xor r0, r0, r4
+                add r2, r2, 1
+                jmp round
+            done:
+                ret r0
+            }}
+            {pre}
+            bug_entry:
+                addr r0, seed_cell
+                load r1, [r0]
+                call r2 = hash(r1, 99), store_digest
+            store_digest:
+                addr r3, digest
+                store r2, [r3]
+                jmp check
+            check:
+                load r4, [r3]
+                eq r5, r4, 0
+                assert r5, "digest must be zero"
+                halt
+            }}
+            "#,
+            rounds = params.hash_rounds,
+        ),
+        BugKind::RaceNullDeref => format!(
+            r#"
+            global ptr 8
+            global box_mem 8
+            func use_ptr(1) {{
+            entry:
+                load r1, [r0]
+                load r2, [r1]
+                ret r2
+            }}
+            func nuller(1) {{
+            entry:
+                store 0, [r0]
+                halt
+            }}
+            {pre}
+            bug_entry:
+                addr r0, ptr
+                addr r1, box_mem
+                store 77, [r1]
+                store r1, [r0]
+                spawn r2, nuller, r0
+                input r3, env
+                remu r4, r3, 2
+                br r4, via_a, via_b
+            via_a:
+                call r5 = use_ptr(r0), after_a
+            after_a:
+                halt
+            via_b:
+                nop
+                call r6 = use_ptr(r0), after_b
+            after_b:
+                halt
+            }}
+            "#
+        ),
+        BugKind::UafSameStack => format!(
+            r#"
+            global ptr 8
+            global box_mem 8
+            func use_ptr(1) {{
+            entry:
+                load r1, [r0]
+                load r2, [r1]
+                ret r2
+            }}
+            func filler(1) {{
+            entry:
+                halt
+            }}
+            {pre}
+            bug_entry:
+                alloc r1, 16
+                store 55, [r1]
+                addr r0, ptr
+                store r1, [r0]
+                free r1
+                jmp touch
+            touch:
+                call r5 = use_ptr(r0), after
+            after:
+                halt
+            }}
+            "#
+        ),
+    };
+    assemble(&src).unwrap_or_else(|e| panic!("workload {kind:?} failed to assemble: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_assemble() {
+        for kind in BugKind::ALL {
+            let p = build(kind, WorkloadParams::default());
+            assert!(p.code_size() > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_scales_execution_length() {
+        // The prefix knob is what makes executions arbitrarily long.
+        let short = build(BugKind::DivByZero, WorkloadParams {
+            prefix_iters: 5,
+            ..WorkloadParams::default()
+        });
+        // Code size is identical — only *execution* length grows.
+        let long = build(BugKind::DivByZero, WorkloadParams {
+            prefix_iters: 50_000,
+            ..WorkloadParams::default()
+        });
+        assert_eq!(short.code_size(), long.code_size());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = BugKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BugKind::ALL.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! A WER-style triaging pipeline with RES in the loop (paper §3.1).
+//!
+//! Generates a corpus of failures from several distinct bugs (one of
+//! which manifests with multiple call stacks, and two of which collide
+//! on the same stack), buckets it both ways, and prints the comparison.
+//!
+//! ```text
+//! cargo run --release --example triage_pipeline
+//! ```
+
+use res_debugger::baselines::wer::bucket_by_stack;
+use res_debugger::prelude::*;
+use res_debugger::triage::{res_bucket_keys, triage_corpus};
+use res_debugger::workloads::{generate_corpus, CorpusSpec};
+
+fn main() {
+    let spec = CorpusSpec {
+        kinds: vec![
+            BugKind::RaceNullDeref, // one bug, many stacks
+            BugKind::UafSameStack,  // different bug, same stack
+            BugKind::UseAfterFree,
+            BugKind::DivByZero,
+        ],
+        per_kind: 4,
+        ..CorpusSpec::default()
+    };
+    println!("generating corpus ({} bug kinds × {} failures)...", spec.kinds.len(), spec.per_kind);
+    let corpus = generate_corpus(&spec);
+    println!("{} labeled failure reports\n", corpus.len());
+
+    // Naive: bucket by stack signature, like Windows Error Reporting.
+    let wer = bucket_by_stack(&corpus, 1);
+    println!("WER-like stack bucketing (depth 1):");
+    for (key, members) in &wer.buckets {
+        let kinds: Vec<&str> = members.iter().map(|&i| corpus[i].kind.name()).collect();
+        println!("  bucket {key}: {kinds:?}");
+    }
+    println!(
+        "  => {} buckets for {} bugs, {:.0}% mis-bucketed\n",
+        wer.bucket_count(),
+        wer.distinct_bugs,
+        wer.misbucket_rate * 100.0
+    );
+
+    // RES: bucket by synthesized root cause.
+    println!("RES root-cause bucketing:");
+    let keys = res_bucket_keys(&corpus, &ResConfig::default());
+    let mut seen = std::collections::BTreeMap::new();
+    for (r, k) in corpus.iter().zip(&keys) {
+        seen.entry(k.clone()).or_insert_with(Vec::new).push(r.kind.name());
+    }
+    for (key, kinds) in &seen {
+        println!("  bucket {key}: {kinds:?}");
+    }
+    let cmp = triage_corpus(&corpus, 1, &ResConfig::default());
+    println!(
+        "  => {} buckets for {} bugs, {:.0}% mis-bucketed",
+        cmp.res.bucket_count(),
+        cmp.res.distinct_bugs,
+        cmp.res.misbucket_rate * 100.0
+    );
+    println!(
+        "\nsummary: stack bucketing mis-buckets {:.0}%, RES {:.0}%",
+        cmp.wer.misbucket_rate * 100.0,
+        cmp.res.misbucket_rate * 100.0
+    );
+}

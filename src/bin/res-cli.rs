@@ -1,0 +1,171 @@
+//! `res-cli` — drive the RES pipeline from the command line.
+//!
+//! ```text
+//! res-cli demo <bug>          run a bundled buggy workload end to end
+//! res-cli list                list bundled bug workloads
+//! res-cli crash <bug> <dir>   crash a workload; write program.json + dump.json
+//! res-cli synthesize <dir>    synthesize + replay + root-cause from those files
+//! res-cli verdict <dir>       hardware-vs-software verdict for the dump
+//! ```
+//!
+//! Programs and coredumps are exchanged as JSON, so dumps can be
+//! inspected, archived, or corrupted (for §3.2 experiments) with
+//! ordinary tools.
+
+use std::path::Path;
+
+use res_debugger::prelude::*;
+use res_debugger::workloads::run_to_failure;
+
+fn find_kind(name: &str) -> Option<BugKind> {
+    BugKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+fn load(dir: &Path) -> Result<(Program, Coredump), String> {
+    let p = std::fs::read_to_string(dir.join("program.json"))
+        .map_err(|e| format!("reading program.json: {e}"))?;
+    let d = std::fs::read_to_string(dir.join("dump.json"))
+        .map_err(|e| format!("reading dump.json: {e}"))?;
+    let program: Program =
+        serde_json::from_str(&p).map_err(|e| format!("parsing program.json: {e}"))?;
+    let dump: Coredump = serde_json::from_str(&d).map_err(|e| format!("parsing dump.json: {e}"))?;
+    Ok((program, dump))
+}
+
+fn cmd_list() {
+    println!("bundled bug workloads:");
+    for k in BugKind::ALL {
+        println!("  {:<24} {}", k.name(), if k.is_concurrent() { "(concurrent)" } else { "" });
+    }
+}
+
+fn cmd_crash(kind: BugKind, dir: &Path) -> Result<(), String> {
+    let program = build_workload(kind, WorkloadParams::default());
+    let machine = (0..500)
+        .find_map(|s| run_to_failure(&program, s))
+        .ok_or_else(|| format!("{} did not fail in 500 schedules", kind.name()))?;
+    let dump = Coredump::capture(&machine);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    std::fs::write(
+        dir.join("program.json"),
+        serde_json::to_string_pretty(&program).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(
+        dir.join("dump.json"),
+        serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "crashed {} (`{}` in thread {}); wrote {}/program.json and dump.json",
+        kind.name(),
+        dump.fault,
+        dump.faulting_tid,
+        dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_synthesize(dir: &Path) -> Result<(), String> {
+    let (program, dump) = load(dir)?;
+    println!("fault: `{}` at {} (thread {})", dump.fault, dump.fault_pc(), dump.faulting_tid);
+    let engine = ResEngine::new(&program, ResConfig::default());
+    let result = engine.synthesize(&dump);
+    println!(
+        "verdict: {:?} — {} suffix(es), {} hypotheses, deepest {}",
+        result.verdict,
+        result.suffixes.len(),
+        result.stats.hypotheses,
+        result.stats.deepest
+    );
+    for (i, sfx) in result.suffixes.iter().enumerate() {
+        let rep = replay_suffix(&program, &dump, sfx);
+        print!(
+            "suffix #{i}: {} blocks / {} instructions, replay {}",
+            sfx.len(),
+            sfx.total_steps(),
+            if rep.reproduced { "REPRODUCED" } else { "diverged" }
+        );
+        if rep.reproduced {
+            let rc = analyze_root_cause(&program, &dump, sfx);
+            println!(", root cause: {}", rc.bucket_key());
+        } else {
+            println!();
+        }
+    }
+    Ok(())
+}
+
+fn cmd_verdict(dir: &Path) -> Result<(), String> {
+    let (program, dump) = load(dir)?;
+    let verdict = hardware_verdict(&program, &dump, &ResConfig::default());
+    println!("{verdict:?}");
+    Ok(())
+}
+
+fn cmd_demo(kind: BugKind) -> Result<(), String> {
+    let program = build_workload(kind, WorkloadParams::default());
+    let machine = (0..500)
+        .find_map(|s| run_to_failure(&program, s))
+        .ok_or_else(|| format!("{} did not fail in 500 schedules", kind.name()))?;
+    let dump = Coredump::capture(&machine);
+    println!("production failure: `{}` after {} steps", dump.fault, dump.steps);
+    let engine = ResEngine::new(&program, ResConfig::default());
+    let result = engine.synthesize(&dump);
+    println!(
+        "synthesis: {:?} ({} hypotheses)",
+        result.verdict, result.stats.hypotheses
+    );
+    for sfx in &result.suffixes {
+        if !replay_suffix(&program, &dump, sfx).reproduced {
+            continue;
+        }
+        let rc = analyze_root_cause(&program, &dump, sfx);
+        println!(
+            "replay-verified suffix: {} blocks, schedule {:?}",
+            sfx.len(),
+            sfx.schedule()
+        );
+        println!("root cause: {rc:?}");
+        return Ok(());
+    }
+    Err("no suffix replayed".into())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  res-cli list\n  res-cli demo <bug>\n  res-cli crash <bug> <dir>\n  res-cli synthesize <dir>\n  res-cli verdict <dir>"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("demo") => match args.get(1).and_then(|n| find_kind(n)) {
+            Some(kind) => cmd_demo(kind),
+            None => Err("unknown bug name (try `res-cli list`)".into()),
+        },
+        Some("crash") => match (args.get(1).and_then(|n| find_kind(n)), args.get(2)) {
+            (Some(kind), Some(dir)) => cmd_crash(kind, Path::new(dir)),
+            _ => usage(),
+        },
+        Some("synthesize") => match args.get(1) {
+            Some(dir) => cmd_synthesize(Path::new(dir)),
+            None => usage(),
+        },
+        Some("verdict") => match args.get(1) {
+            Some(dir) => cmd_verdict(Path::new(dir)),
+            None => usage(),
+        },
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Robustness tests: misbehaving inputs, edge configurations, and the
+//! engine's honesty about divergence.
+
+use res_debugger::machine::{LbrEntry, LbrRing, Machine, MachineConfig};
+use res_debugger::prelude::*;
+use res_debugger::symbolic::{Expr, SolveResult, Solver, SolverConfig};
+use res_debugger::isa::BinOp;
+
+#[test]
+fn lbr_filtered_recording_matches_engine_expectations() {
+    // A machine configured with the §2.4 filtering extension records
+    // only conditional branches; the engine must be told (lbr_filtered)
+    // and still synthesize correctly.
+    let p = build_workload(BugKind::Figure1, WorkloadParams::default());
+    let mut m = Machine::new(
+        p.clone(),
+        MachineConfig {
+            lbr_capacity: 4,
+            lbr_filter_inferrable: true,
+            ..MachineConfig::default()
+        },
+    );
+    m.run();
+    let d = Coredump::capture(&m);
+    // Filtered rings contain no inferrable transfers.
+    assert!(d.lbr.iter().all(|e| !e.inferrable));
+    let engine = ResEngine::new(
+        &p,
+        ResConfig {
+            use_lbr: true,
+            lbr_filtered: true,
+            ..ResConfig::default()
+        },
+    );
+    let result = engine.synthesize(&d);
+    assert!(matches!(result.verdict, Verdict::SuffixFound), "{:?}", result.stats);
+    assert!(result
+        .suffixes
+        .iter()
+        .any(|s| replay_suffix(&p, &d, s).reproduced));
+}
+
+#[test]
+fn replay_reports_divergence_for_tampered_suffix() {
+    // A suffix whose initial image is tampered with must not silently
+    // "reproduce": the replayer reports the divergence.
+    let p = build_workload(BugKind::DivByZero, WorkloadParams::default());
+    let mut m = Machine::new(p.clone(), MachineConfig::default());
+    m.run();
+    let d = Coredump::capture(&m);
+    let engine = ResEngine::new(&p, ResConfig::default());
+    let result = engine.synthesize(&d);
+    let mut sfx = result.suffixes[0].clone();
+    let ok = replay_suffix(&p, &d, &sfx);
+    assert!(ok.reproduced);
+    // Tamper: flip a cell of Mi (or inject one if empty).
+    if let Some(cell) = sfx.initial_cells.first_mut() {
+        cell.2 ^= 0xff;
+    } else {
+        sfx.initial_cells.push((
+            res_debugger::isa::layout::GLOBAL_BASE,
+            res_debugger::isa::Width::W8,
+            0xdead,
+        ));
+    }
+    let bad = replay_suffix(&p, &d, &sfx);
+    assert!(!bad.reproduced, "tampered suffix must not reproduce");
+}
+
+#[test]
+fn solver_scales_to_wider_constraint_sets() {
+    // A 12-symbol chained system: σ0+σ1=K0, σ1+σ2=K1, ... with σ0
+    // pinned; forced-value derivation must crack it without search
+    // explosion.
+    let solver = Solver::with_config(SolverConfig::default());
+    let mut cs = vec![Expr::bin(BinOp::Eq, Expr::sym(0), Expr::konst(7))];
+    for i in 0..11u32 {
+        cs.push(Expr::bin(
+            BinOp::Eq,
+            Expr::bin(BinOp::Add, Expr::sym(i), Expr::sym(i + 1)),
+            Expr::konst(100 + i as u64),
+        ));
+    }
+    let SolveResult::Sat(m) = solver.check(&cs) else {
+        panic!("chained system must be sat");
+    };
+    for c in &cs {
+        assert_eq!(m.eval_total(c), Some(1), "violated {c}");
+    }
+}
+
+#[test]
+fn lbr_ring_model_matches_hardware_semantics() {
+    // Capacity-bounded, order-preserving, filter drops inferrable.
+    let mut ring = LbrRing::new(2).with_filtering(true);
+    let mk = |b: u32, inferrable: bool| LbrEntry {
+        tid: 0,
+        from: res_debugger::isa::Loc {
+            func: res_debugger::isa::FuncId(0),
+            block: res_debugger::isa::BlockId(b),
+            inst: 0,
+        },
+        to: res_debugger::isa::Loc {
+            func: res_debugger::isa::FuncId(0),
+            block: res_debugger::isa::BlockId(b + 1),
+            inst: 0,
+        },
+        inferrable,
+    };
+    for b in 0..6 {
+        ring.record(mk(b, b % 2 == 0));
+    }
+    let got: Vec<u32> = ring.entries().map(|e| e.from.block.0).collect();
+    assert_eq!(got, vec![3, 5], "filtered ring keeps last essential entries");
+}
+
+#[test]
+fn engine_survives_minimal_and_maximal_budgets() {
+    let p = build_workload(BugKind::SemanticAssert, WorkloadParams::default());
+    let mut m = Machine::new(p.clone(), MachineConfig::default());
+    m.run();
+    let d = Coredump::capture(&m);
+    // Degenerate budgets must not panic and must answer honestly.
+    for (depth, nodes) in [(1usize, 1u64), (2, 2), (64, 50_000)] {
+        let engine = ResEngine::new(
+            &p,
+            ResConfig {
+                max_depth: depth,
+                max_nodes: nodes,
+                ..ResConfig::default()
+            },
+        );
+        let result = engine.synthesize(&d);
+        match result.verdict {
+            Verdict::SuffixFound => {
+                assert!(!result.suffixes.is_empty());
+            }
+            Verdict::BudgetExhausted | Verdict::NoFeasibleSuffix { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn corpus_reports_are_self_consistent() {
+    use res_debugger::workloads::{generate_corpus, CorpusSpec};
+    let corpus = generate_corpus(&CorpusSpec {
+        kinds: vec![BugKind::DivByZero, BugKind::HashChain],
+        per_kind: 2,
+        ..CorpusSpec::default()
+    });
+    for r in &corpus {
+        // The minidump is a faithful projection of the dump.
+        assert_eq!(r.minidump.fault, r.dump.fault);
+        assert_eq!(r.minidump.call_stack(), r.dump.call_stack());
+        // The seed re-derives the same failure deterministically.
+        let m = res_debugger::workloads::run_to_failure(&r.program, r.seed).expect("re-fails");
+        let d2 = Coredump::capture(&m);
+        assert_eq!(res_debugger::coredump::diff_dumps(&r.dump, &d2, 8).is_empty(), true);
+    }
+}

@@ -1,8 +1,9 @@
-//! Criterion benches: the latency of the core operations behind each
-//! experiment. One group per experiment family; parameter sweeps mirror
+//! Micro-benches: the latency of the core operations behind each
+//! experiment, timed on the in-repo `res_bench::micro` runner (no
+//! criterion). One group per experiment family; parameter sweeps mirror
 //! the harness tables (smaller sizes, so `cargo bench` stays fast).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use res_bench::micro::{bench_function, Group};
 
 use mvm_core::{Coredump, Minidump};
 use res_baselines::{measure_recording, ForwardConfig, ForwardSynthesizer, RecorderKind};
@@ -25,59 +26,46 @@ fn dump_for(kind: BugKind, prefix: u64) -> (mvm_isa::Program, Coredump) {
 }
 
 /// E1: suffix synthesis per §4 bug class.
-fn bench_e1_synthesis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_hotos_eval");
-    g.sample_size(10);
+fn bench_e1_synthesis() {
+    let g = Group::new("e1_hotos_eval").sample_size(10);
     for kind in BugKind::HOTOS_EVAL {
         let (p, d) = dump_for(kind, 10);
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
-            b.iter(|| {
-                let engine = ResEngine::new(&p, ResConfig::default());
-                std::hint::black_box(engine.synthesize(&d))
-            })
+        g.bench(kind.name(), || {
+            let engine = ResEngine::new(&p, ResConfig::default());
+            engine.synthesize(&d)
         });
     }
-    g.finish();
 }
 
 /// E2: Figure-1 disambiguation.
-fn bench_e2_figure1(c: &mut Criterion) {
+fn bench_e2_figure1() {
     let (p, d) = dump_for(BugKind::Figure1, 10);
-    c.bench_function("e2_figure1_synthesis", |b| {
-        b.iter(|| {
-            let engine = ResEngine::new(&p, ResConfig::default());
-            std::hint::black_box(engine.synthesize(&d))
-        })
+    bench_function("e2_figure1_synthesis", || {
+        let engine = ResEngine::new(&p, ResConfig::default());
+        engine.synthesize(&d)
     });
 }
 
 /// E3: RES vs forward ES across prefix lengths.
-fn bench_e3_length_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_length_sweep");
-    g.sample_size(10);
+fn bench_e3_length_sweep() {
+    let g = Group::new("e3_length_sweep").sample_size(10);
     for prefix in [100u64, 1_000, 10_000] {
         let (p, d) = dump_for(BugKind::DivByZero, prefix);
-        g.bench_with_input(BenchmarkId::new("res", prefix), &(), |b, _| {
-            b.iter(|| {
-                let engine = ResEngine::new(&p, ResConfig::default());
-                std::hint::black_box(engine.synthesize(&d))
-            })
+        g.bench(&format!("res/{prefix}"), || {
+            let engine = ResEngine::new(&p, ResConfig::default());
+            engine.synthesize(&d)
         });
         let goal = Minidump::from_coredump(&d);
-        g.bench_with_input(BenchmarkId::new("forward_es", prefix), &(), |b, _| {
-            b.iter(|| {
-                let s = ForwardSynthesizer::new(ForwardConfig::default());
-                std::hint::black_box(s.synthesize(&p, &goal))
-            })
+        g.bench(&format!("forward_es/{prefix}"), || {
+            let s = ForwardSynthesizer::new(ForwardConfig::default());
+            s.synthesize(&p, &goal)
         });
     }
-    g.finish();
 }
 
 /// E8: recording cost measurement.
-fn bench_e8_recording(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_recording_overhead");
-    g.sample_size(10);
+fn bench_e8_recording() {
+    let g = Group::new("e8_recording_overhead").sample_size(10);
     let p = build(
         BugKind::DataRace,
         WorkloadParams {
@@ -90,15 +78,12 @@ fn bench_e8_recording(c: &mut Criterion) {
         RecorderKind::OutputDeterministic,
         RecorderKind::None,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
-            b.iter(|| std::hint::black_box(measure_recording(&p, kind, 11)))
-        });
+        g.bench(kind.name(), || measure_recording(&p, kind, 11));
     }
-    g.finish();
 }
 
 /// E11: replay latency.
-fn bench_e11_replay(c: &mut Criterion) {
+fn bench_e11_replay() {
     let (p, d) = dump_for(BugKind::UseAfterFree, 10);
     let engine = ResEngine::new(&p, ResConfig::default());
     let result = engine.synthesize(&d);
@@ -108,43 +93,35 @@ fn bench_e11_replay(c: &mut Criterion) {
         .find(|s| replay_suffix(&p, &d, s).reproduced)
         .expect("reproducing suffix")
         .clone();
-    c.bench_function("e11_replay_suffix", |b| {
-        b.iter(|| std::hint::black_box(replay_suffix(&p, &d, &sfx)))
-    });
+    bench_function("e11_replay_suffix", || replay_suffix(&p, &d, &sfx));
 }
 
 /// A3: solver latency per budget.
-fn bench_a3_solver(c: &mut Criterion) {
-    let mut g = c.benchmark_group("a3_solver_budget");
-    g.sample_size(10);
+fn bench_a3_solver() {
+    let g = Group::new("a3_solver_budget").sample_size(10);
     let (p, d) = dump_for(BugKind::HeapOverflowTainted, 10);
     for budget in [100u64, 20_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(budget), &(), |b, _| {
-            b.iter(|| {
-                let engine = ResEngine::new(
-                    &p,
-                    ResConfig {
-                        solver: mvm_symbolic::SolverConfig {
-                            max_assignments: budget,
-                            ..mvm_symbolic::SolverConfig::default()
-                        },
-                        ..ResConfig::default()
+        g.bench(&budget.to_string(), || {
+            let engine = ResEngine::new(
+                &p,
+                ResConfig {
+                    solver: mvm_symbolic::SolverConfig {
+                        max_assignments: budget,
+                        ..mvm_symbolic::SolverConfig::default()
                     },
-                );
-                std::hint::black_box(engine.synthesize(&d))
-            })
+                    ..ResConfig::default()
+                },
+            );
+            engine.synthesize(&d)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_e1_synthesis,
-    bench_e2_figure1,
-    bench_e3_length_sweep,
-    bench_e8_recording,
-    bench_e11_replay,
-    bench_a3_solver
-);
-criterion_main!(benches);
+fn main() {
+    bench_e1_synthesis();
+    bench_e2_figure1();
+    bench_e3_length_sweep();
+    bench_e8_recording();
+    bench_e11_replay();
+    bench_a3_solver();
+}

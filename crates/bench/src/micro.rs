@@ -1,0 +1,145 @@
+//! A minimal `std::time`-based micro-benchmark runner.
+//!
+//! Replaces the `criterion` dependency for the hermetic build. It keeps
+//! the parts of criterion the benches actually used — named groups,
+//! parameterized benchmark ids, warmup, and a robust central estimate —
+//! and drops everything else (plotting, regression analysis, disk
+//! state). Timings print one line per benchmark:
+//!
+//! ```text
+//! e1_hotos_eval/div_by_zero    median 412.3µs  (min 401.1µs, max 560.0µs, 10 samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// How many timed samples to collect per benchmark.
+///
+/// Kept small: these benches exist to flag order-of-magnitude
+/// regressions, not to resolve single-digit-percent effects.
+pub const DEFAULT_SAMPLES: u32 = 10;
+
+/// Number of untimed warmup iterations before sampling.
+pub const DEFAULT_WARMUP: u32 = 2;
+
+/// A named collection of benchmarks, mirroring criterion's
+/// `benchmark_group`.
+pub struct Group<'a> {
+    name: &'a str,
+    samples: u32,
+    warmup: u32,
+}
+
+impl<'a> Group<'a> {
+    /// Starts a group with default sample counts.
+    pub fn new(name: &'a str) -> Self {
+        Group {
+            name,
+            samples: DEFAULT_SAMPLES,
+            warmup: DEFAULT_WARMUP,
+        }
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(mut self, samples: u32) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`, reporting it as `group/id`.
+    pub fn bench<R>(&self, id: &str, mut f: impl FnMut() -> R) -> Stats {
+        let stats = run(self.samples, self.warmup, &mut f);
+        println!("{}", stats.render(&format!("{}/{}", self.name, id)));
+        stats
+    }
+}
+
+/// Times a standalone benchmark (criterion's `bench_function`).
+pub fn bench_function<R>(name: &str, mut f: impl FnMut() -> R) -> Stats {
+    let stats = run(DEFAULT_SAMPLES, DEFAULT_WARMUP, &mut f);
+    println!("{}", stats.render(name));
+    stats
+}
+
+/// Summary of one benchmark's samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median sample duration.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of samples.
+    pub samples: u32,
+}
+
+impl Stats {
+    fn render(&self, label: &str) -> String {
+        format!(
+            "{label:<44} median {:>9}  (min {}, max {}, {} samples)",
+            fmt_duration(self.median),
+            fmt_duration(self.min),
+            fmt_duration(self.max),
+            self.samples,
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run<R>(samples: u32, warmup: u32, f: &mut impl FnMut() -> R) -> Stats {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    Stats {
+        median: times[times.len() / 2],
+        min: times[0],
+        max: times[times.len() - 1],
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered() {
+        let s = bench_function("noop", || 1 + 1);
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert_eq!(s.samples, DEFAULT_SAMPLES);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let s = Group::new("g").sample_size(3).bench("b", || ());
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.00s");
+    }
+}

@@ -5,7 +5,7 @@
 //! reached a state compatible with the coredump". [`diff_dumps`]
 //! reports every observable divergence between two dumps.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_struct;
 
 use mvm_isa::Loc;
 use mvm_machine::ThreadId;
@@ -13,7 +13,7 @@ use mvm_machine::ThreadId;
 use crate::dump::Coredump;
 
 /// Differences between two coredumps.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DumpDiff {
     /// Byte addresses whose contents differ (capped).
     pub memory_bytes: Vec<u64>,
@@ -26,6 +26,14 @@ pub struct DumpDiff {
     /// `true` if the fault descriptors differ.
     pub fault_differs: bool,
 }
+
+json_struct!(DumpDiff {
+    memory_bytes,
+    thread_set,
+    pcs,
+    registers,
+    fault_differs,
+});
 
 impl DumpDiff {
     /// Returns `true` when the dumps are observably identical.

@@ -1,6 +1,6 @@
 //! The coredump format.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_struct;
 
 use mvm_isa::Loc;
 use mvm_machine::{
@@ -22,7 +22,7 @@ use mvm_machine::{
 /// MicroVM convention stores each frame's registers, so the stack walk
 /// is exact), heap allocator metadata (parsed from the dump in real
 /// tools), the fault descriptor, and the cheap breadcrumbs of §2.4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Coredump {
     /// Name of the program that crashed (matches `Program` identity).
     pub program_name: String,
@@ -151,13 +151,27 @@ impl Coredump {
 }
 
 /// The naive triaging key: coarse signal + top-of-stack locations.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StackSignature {
     /// Coarse kernel-visible signal (`SIGSEGV`, ...).
     pub signal: String,
     /// Top stack frames, innermost first.
     pub frames: Vec<Loc>,
 }
+
+json_struct!(Coredump {
+    program_name,
+    memory,
+    threads,
+    fault,
+    faulting_tid,
+    steps,
+    lbr,
+    error_log,
+    heap_allocs,
+    globals_end,
+});
+json_struct!(StackSignature { signal, frames });
 
 #[cfg(test)]
 mod tests {
@@ -234,12 +248,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_json_round_trip() {
+    fn json_round_trip() {
         let d = crash_dump(
             "global g 8 = 3\nfunc main() {\nentry:\n  assert 0, \"boom\"\n  halt\n}",
         );
-        let s = serde_json::to_string(&d).unwrap();
-        let back: Coredump = serde_json::from_str(&s).unwrap();
+        let s = mvm_json::to_string(&d);
+        let back: Coredump = mvm_json::from_str(&s).unwrap();
         assert_eq!(d, back);
     }
 

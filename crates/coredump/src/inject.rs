@@ -7,14 +7,15 @@
 //! manufacture them by corrupting an otherwise-genuine software-bug dump
 //! after capture — exactly how a flipped DRAM bit would present.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_enum;
+use mvm_prng::XorShift64Star;
 
 use mvm_isa::Reg;
 
 use crate::dump::Coredump;
 
 /// What an injector did, for ground-truth labels in experiments.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InjectionReport {
     /// A memory bit was flipped.
     MemoryBitFlip {
@@ -43,14 +44,14 @@ pub enum InjectionReport {
     },
 }
 
+json_enum!(InjectionReport {
+    MemoryBitFlip { addr: u64, bit: u8, before: u8, after: u8 },
+    RegisterCorrupt { tid: u64, frame: usize, reg: u8, before: u64, after: u64 },
+});
+
 /// Deterministic xorshift for seedable injection-site selection.
 fn xorshift(state: &mut u64) -> u64 {
-    let mut x = *state | 1;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    XorShift64Star::step(state)
 }
 
 /// Flips one bit of a mapped memory byte, chosen by `seed`.

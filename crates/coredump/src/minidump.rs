@@ -8,7 +8,7 @@
 //! powerful" (§1). Experiment A2 quantifies that claim by running the
 //! engine with each.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_struct;
 
 use mvm_isa::Loc;
 use mvm_machine::{Fault, Frame, ThreadId};
@@ -16,7 +16,7 @@ use mvm_machine::{Fault, Frame, ThreadId};
 use crate::dump::Coredump;
 
 /// A stack-and-registers-only crash report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Minidump {
     /// Program name.
     pub program_name: String,
@@ -28,6 +28,8 @@ pub struct Minidump {
     /// included.
     pub frames: Vec<Frame>,
 }
+
+json_struct!(Minidump { program_name, fault, faulting_tid, frames });
 
 impl Minidump {
     /// Extracts the minidump subset of a full coredump.
@@ -110,10 +112,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let md = Minidump::from_coredump(&dump());
-        let s = serde_json::to_string(&md).unwrap();
-        let back: Minidump = serde_json::from_str(&s).unwrap();
+        let s = mvm_json::to_string(&md);
+        let back: Minidump = mvm_json::from_str(&s).unwrap();
         assert_eq!(md, back);
     }
 }

@@ -7,7 +7,7 @@
 //! analysis (write sets, havocking, forward re-execution) tractable for
 //! the RES engine.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::{json_enum, json_newtype};
 
 use crate::program::{BlockId, FuncId, GlobalId};
 
@@ -17,7 +17,7 @@ use crate::program::{BlockId, FuncId, GlobalId};
 /// `r0`..`r31`. By calling convention, arguments arrive in `r0..rN` and a
 /// function's return value is produced by its `ret` terminator rather
 /// than a dedicated register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -42,7 +42,7 @@ impl std::fmt::Display for Reg {
 /// Allowing immediates directly in instruction operands keeps the
 /// synthetic workload programs compact without a separate `li`-style
 /// materialization step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Read the value of a register.
     Reg(Reg),
@@ -83,7 +83,7 @@ impl std::fmt::Display for Operand {
 }
 
 /// Access width of a memory operation, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Width {
     /// One byte.
     W1,
@@ -130,7 +130,7 @@ impl std::fmt::Display for Width {
 /// Comparison operators produce `1` or `0` in the destination register;
 /// there are no condition flags. Signedness is explicit in the operator
 /// (`LtS` vs `LtU`), mirroring LLVM's `icmp` predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -228,7 +228,7 @@ impl BinOp {
 }
 
 /// One-operand ALU operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Bitwise negation.
     Not,
@@ -259,7 +259,7 @@ impl UnOp {
 /// The kind matters for the exploitability use case (§3.1 of the paper):
 /// data arriving via [`InputKind::Network`] is attacker-controlled, so an
 /// overflow fed by it is classified as remotely exploitable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InputKind {
     /// A value read from the network (attacker-controlled).
     Network,
@@ -293,7 +293,7 @@ impl InputKind {
 }
 
 /// Output channels observable outside the program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Channel {
     /// Ordinary program output (stdout-like).
     Out,
@@ -317,7 +317,7 @@ impl Channel {
 /// Every variant writes at most one register and at most one memory
 /// location, which keeps the write sets that drive backward havocking
 /// (§2.4 of the paper) trivially computable.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// `dst = src`.
     Mov {
@@ -515,7 +515,7 @@ impl Inst {
 }
 
 /// A basic-block terminator: the only instructions that transfer control.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Terminator {
     /// Unconditional jump to another block of the same function.
     Jump(BlockId),
@@ -576,6 +576,44 @@ impl Terminator {
         }
     }
 }
+
+// JSON wire format: serde's externally-tagged layout, kept compatible
+// with dumps written by the pre-hermetic build (see `mvm_json`).
+json_newtype!(Reg);
+json_enum!(Operand { Reg(Reg), Imm(u64) });
+json_enum!(Width { W1, W2, W4, W8 });
+json_enum!(BinOp {
+    Add, Sub, Mul, DivU, RemU, And, Or, Xor, Shl, Shr, Sar,
+    Eq, Ne, LtU, LeU, LtS, LeS,
+});
+json_enum!(UnOp { Not, Neg });
+json_enum!(InputKind { Network, File, Time, Random, Env });
+json_enum!(Channel { Out, Log });
+json_enum!(Inst {
+    Mov { dst: Reg, src: Operand },
+    Bin { op: BinOp, dst: Reg, lhs: Operand, rhs: Operand },
+    Un { op: UnOp, dst: Reg, src: Operand },
+    Load { dst: Reg, addr: Operand, offset: i64, width: Width },
+    Store { src: Operand, addr: Operand, offset: i64, width: Width },
+    AddrOf { dst: Reg, global: GlobalId },
+    Input { dst: Reg, kind: InputKind },
+    Output { src: Operand, channel: Channel },
+    Alloc { dst: Reg, size: Operand },
+    Free { addr: Operand },
+    Lock { addr: Operand },
+    Unlock { addr: Operand },
+    Spawn { dst: Reg, func: FuncId, arg: Operand },
+    Join { tid: Operand },
+    Assert { cond: Operand, msg: String },
+    Nop,
+});
+json_enum!(Terminator {
+    Jump(BlockId),
+    Branch { cond: Operand, then_b: BlockId, else_b: BlockId },
+    Call { func: FuncId, args: Vec<Operand>, ret: Option<Reg>, cont: BlockId },
+    Return(Option<Operand>),
+    Halt,
+});
 
 #[cfg(test)]
 mod tests {

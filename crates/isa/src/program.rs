@@ -1,20 +1,20 @@
 //! Program containers: functions, basic blocks, globals, code locations.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::{json_newtype, json_struct};
 
 use crate::inst::{Inst, Terminator};
 use crate::layout;
 
 /// Identifies a function within a [`Program`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
 
 /// Identifies a basic block within a [`Function`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 /// Identifies a global variable within a [`Program`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GlobalId(pub u32);
 
 /// A code location: function, block, and instruction index.
@@ -22,7 +22,7 @@ pub struct GlobalId(pub u32);
 /// `inst == block.insts.len()` denotes the block's terminator. This is
 /// the MicroVM's program counter and the unit in which coredumps report
 /// where each thread stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Loc {
     /// Containing function.
     pub func: FuncId,
@@ -47,7 +47,7 @@ impl std::fmt::Display for Loc {
 }
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BasicBlock {
     /// Human-readable label (unique within the function).
     pub label: String,
@@ -72,7 +72,7 @@ impl BasicBlock {
 /// A function: named, with declared arity and a block list.
 ///
 /// Block 0 is the entry block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
     /// Function name (unique within the program).
     pub name: String,
@@ -116,7 +116,7 @@ impl Function {
 }
 
 /// A global variable with a fixed address and byte-level initializer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Global {
     /// Name (unique within the program).
     pub name: String,
@@ -129,7 +129,7 @@ pub struct Global {
 }
 
 /// A complete MicroVM program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// All functions; indexed by [`FuncId`].
     pub funcs: Vec<Function>,
@@ -223,6 +223,16 @@ impl Program {
             .map(|(i, f)| (FuncId(i as u32), f))
     }
 }
+
+// JSON wire format (see `mvm_json`); ids serialize as bare integers.
+json_newtype!(FuncId);
+json_newtype!(BlockId);
+json_newtype!(GlobalId);
+json_struct!(Loc { func, block, inst });
+json_struct!(BasicBlock { label, insts, terminator });
+json_struct!(Function { name, arity, blocks });
+json_struct!(Global { name, size, addr, init });
+json_struct!(Program { funcs, globals, entry });
 
 #[cfg(test)]
 mod tests {

@@ -8,14 +8,14 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_struct;
 
 use mvm_isa::Loc;
 
 use crate::thread::ThreadId;
 
 /// One taken control transfer: source and destination locations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LbrEntry {
     /// Thread that took the branch.
     pub tid: ThreadId,
@@ -31,7 +31,7 @@ pub struct LbrEntry {
 }
 
 /// A fixed-capacity ring of the last taken branches, like Intel LBR.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LbrRing {
     capacity: usize,
     entries: VecDeque<LbrEntry>,
@@ -96,7 +96,7 @@ impl LbrRing {
 }
 
 /// One error-log record: a coarse execution breadcrumb (paper §2.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogRecord {
     /// Thread that logged.
     pub tid: ThreadId,
@@ -107,6 +107,12 @@ pub struct LogRecord {
     /// Global step count when logged.
     pub step: u64,
 }
+
+// Invoked here (not in a central serde module) because LbrRing's fields
+// are private; the macro expands to impls that read them directly.
+json_struct!(LbrEntry { tid, from, to, inferrable });
+json_struct!(LbrRing { capacity, entries, filter_inferrable });
+json_struct!(LogRecord { tid, at, value, step });
 
 #[cfg(test)]
 mod tests {

@@ -42,14 +42,7 @@ impl InputSource {
     fn next(&mut self, tid: ThreadId) -> u64 {
         match self {
             InputSource::Fixed(v) => *v,
-            InputSource::Seeded { seed } => {
-                let mut x = *seed | 1;
-                x ^= x >> 12;
-                x ^= x << 25;
-                x ^= x >> 27;
-                *seed = x;
-                x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-            }
+            InputSource::Seeded { seed } => mvm_prng::XorShift64Star::step(seed),
             InputSource::Scripted { per_thread, fallback } => per_thread
                 .get_mut(&tid)
                 .and_then(VecDeque::pop_front)

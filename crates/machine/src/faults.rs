@@ -7,12 +7,12 @@
 //! SIGSEGV, so the *triaging* code never reads the fine-grained variant —
 //! it works from the coredump alone, like the paper's RES does.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_enum;
 
 use crate::thread::ThreadId;
 
 /// Whether a faulting access was a read or a write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Load.
     Read,
@@ -21,7 +21,7 @@ pub enum AccessKind {
 }
 
 /// A fatal execution fault.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Fault {
     /// Access to an address outside every mapped region, or outside any
     /// live global/stack extent.
@@ -146,6 +146,21 @@ impl Fault {
         }
     }
 }
+
+json_enum!(AccessKind { Read, Write });
+json_enum!(Fault {
+    InvalidAccess { addr: u64, kind: AccessKind },
+    HeapOverflow { addr: u64, near_base: Option<u64>, kind: AccessKind },
+    UseAfterFree { addr: u64, base: u64, kind: AccessKind },
+    DoubleFree { base: u64 },
+    InvalidFree { addr: u64 },
+    DivByZero,
+    AssertFailed { msg: String },
+    Deadlock { threads: Vec<ThreadId> },
+    UnlockNotOwned { mutex: u64 },
+    JoinUnknownThread { tid: u64 },
+    OutOfMemory,
+});
 
 impl std::fmt::Display for Fault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

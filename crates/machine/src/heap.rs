@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use mvm_json::{json_enum, json_struct};
 
 use mvm_isa::layout;
 
@@ -24,7 +24,7 @@ use crate::faults::{AccessKind, Fault};
 pub const REDZONE: u64 = 16;
 
 /// Lifecycle state of an allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocState {
     /// Payload may be read and written.
     Live,
@@ -33,7 +33,7 @@ pub enum AllocState {
 }
 
 /// Metadata for one heap allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AllocMeta {
     /// Payload base address (after the leading redzone).
     pub base: u64,
@@ -44,12 +44,16 @@ pub struct AllocMeta {
 }
 
 /// The heap: bump allocation, per-block metadata, no reuse.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Heap {
     cursor: u64,
     /// Metadata keyed by payload base, ordered for range queries.
     allocs: BTreeMap<u64, AllocMeta>,
 }
+
+json_enum!(AllocState { Live, Freed });
+json_struct!(AllocMeta { base, size, state });
+json_struct!(Heap { cursor, allocs });
 
 impl Default for Heap {
     fn default() -> Self {

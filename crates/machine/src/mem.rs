@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_struct;
 
 use mvm_isa::Width;
 
@@ -20,10 +20,12 @@ pub const PAGE_SIZE: u64 = 4096;
 ///
 /// Pages are stored in a `BTreeMap` so iteration (snapshotting into a
 /// coredump, diffing two dumps) is deterministic and ordered.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Memory {
     pages: BTreeMap<u64, Vec<u8>>,
 }
+
+json_struct!(Memory { pages });
 
 impl Memory {
     /// Creates an empty (fully unmapped) memory.

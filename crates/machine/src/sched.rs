@@ -4,12 +4,13 @@
 //! set, so a given `(program, inputs, policy)` triple always produces the
 //! same execution — the property every experiment in this repo leans on.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_enum;
+use mvm_prng::XorShift64Star;
 
 use crate::thread::ThreadId;
 
 /// A scheduling policy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchedPolicy {
     /// Run each thread for `quantum` steps, then rotate.
     RoundRobin {
@@ -41,6 +42,12 @@ impl SchedPolicy {
     }
 }
 
+json_enum!(SchedPolicy {
+    RoundRobin { quantum: u64 },
+    Random { seed: u64, switch_per_mille: u32 },
+    Scripted { segments: Vec<(ThreadId, u64)> },
+});
+
 /// Scheduler runtime state.
 #[derive(Debug, Clone)]
 pub(crate) struct Scheduler {
@@ -68,14 +75,10 @@ impl Scheduler {
         }
     }
 
-    /// xorshift64* — small, fast, deterministic.
+    /// xorshift64* — small, fast, deterministic. Raw step: the state was
+    /// forced odd at seeding time, so it never reaches zero.
     fn next_rand(&mut self) -> u64 {
-        let mut x = self.rng_state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng_state = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        XorShift64Star::step_raw(&mut self.rng_state)
     }
 
     /// Picks the next thread to run from `runnable` (must be non-empty,

@@ -1,6 +1,6 @@
 //! Thread state: register frames, call stacks, and scheduling status.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::{json_enum, json_struct};
 
 use mvm_isa::{layout, BlockId, FuncId, Loc, Reg};
 
@@ -13,7 +13,7 @@ pub type ThreadId = u64;
 /// frame (callee gets fresh registers, caller's are restored on return),
 /// so a coredump's stack walk recovers every frame's registers exactly —
 /// the "accurate stack" the paper's prototype requires (§6).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Function this frame executes.
     pub func: FuncId,
@@ -61,7 +61,7 @@ impl Frame {
 }
 
 /// Why a thread is not currently runnable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadStatus {
     /// Ready to execute.
     Runnable,
@@ -89,7 +89,7 @@ impl ThreadStatus {
 }
 
 /// Full per-thread execution state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadState {
     /// This thread's id.
     pub tid: ThreadId,
@@ -147,6 +147,15 @@ impl ThreadState {
         self.frames.len()
     }
 }
+
+json_struct!(Frame { func, block, inst, regs, ret_reg });
+json_enum!(ThreadStatus {
+    Runnable,
+    BlockedOnLock(u64),
+    BlockedOnJoin(ThreadId),
+    Halted,
+});
+json_struct!(ThreadState { tid, frames, status, inputs_consumed });
 
 #[cfg(test)]
 mod tests {

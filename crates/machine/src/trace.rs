@@ -6,7 +6,7 @@
 //! (E8) that accounts for how many bytes an always-on recorder would
 //! have to log.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_enum;
 
 use mvm_isa::{Loc, Width};
 
@@ -14,7 +14,7 @@ use crate::faults::AccessKind;
 use crate::thread::ThreadId;
 
 /// How much to record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceLevel {
     /// Record nothing (production mode — what RES assumes).
     Off,
@@ -25,7 +25,7 @@ pub enum TraceLevel {
 }
 
 /// One trace event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A thread entered a basic block.
     BlockEnter {
@@ -106,6 +106,16 @@ impl TraceEvent {
         }
     }
 }
+
+json_enum!(TraceLevel { Off, Blocks, Full });
+json_enum!(TraceEvent {
+    BlockEnter { tid: ThreadId, loc: Loc, step: u64 },
+    Mem { tid: ThreadId, loc: Loc, kind: AccessKind, addr: u64, value: u64, width: Width },
+    Input { tid: ThreadId, loc: Loc, value: u64 },
+    Alloc { tid: ThreadId, loc: Loc, base: u64, size: u64 },
+    Free { tid: ThreadId, loc: Loc, base: u64 },
+    Sync { tid: ThreadId, loc: Loc, mutex: u64, acquire: bool },
+});
 
 /// Collects trace events at a configured level.
 #[derive(Debug, Clone)]

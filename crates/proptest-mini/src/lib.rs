@@ -1,0 +1,491 @@
+//! # proptest-mini — a seeded, shrinking property-test harness
+//!
+//! A std-only replacement for the `proptest` dependency, built on
+//! [`mvm_prng`] so that every generated case is a pure function of a
+//! single master seed. Where `proptest` persists failing cases in
+//! regression files, this harness makes the seed itself the artifact:
+//! a failure panics with the master seed and the case index, and
+//! re-running with `RES_PROP_SEED=<seed>` regenerates the identical
+//! counterexample — on any machine, with no state files.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest_mini::{check, u64_range, Config};
+//!
+//! check(
+//!     "addition_commutes",
+//!     &Config::with_cases(64),
+//!     &proptest_mini::pair(u64_range(0, 1000), u64_range(0, 1000)),
+//!     |&(a, b)| {
+//!         proptest_mini::prop_assert_eq!(a + b, b + a);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! # Shrinking
+//!
+//! On failure the harness shrinks greedily: it repeatedly tries the
+//! candidate simplifications of the current counterexample (integers
+//! move toward their lower bound, vectors lose elements) and commits to
+//! the first candidate that still fails, until no candidate fails or
+//! the shrink budget is exhausted. The panic message reports both the
+//! original and the minimized input.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use mvm_prng::{SplitMix64, Xoshiro256StarStar};
+
+/// Environment variable naming the master seed for reproduction.
+pub const SEED_ENV: &str = "RES_PROP_SEED";
+
+/// Master seed used when [`SEED_ENV`] is not set.
+pub const DEFAULT_SEED: u64 = 0x5e5_0f_7e57_5eed;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to generate and check.
+    pub cases: u32,
+    /// Master seed; every case seed derives from it.
+    pub seed: u64,
+    /// Maximum number of shrink candidates evaluated after a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// The default configuration: 256 cases (proptest's default count),
+    /// seed from [`SEED_ENV`] or [`DEFAULT_SEED`].
+    pub fn new() -> Self {
+        Config {
+            cases: 256,
+            seed: env_seed(),
+            max_shrink_steps: 4096,
+        }
+    }
+
+    /// The default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::new() }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::new()
+    }
+}
+
+/// Reads the master seed from the environment (decimal or `0x…` hex),
+/// falling back to [`DEFAULT_SEED`].
+pub fn env_seed() -> u64 {
+    let Ok(raw) = std::env::var(SEED_ENV) else {
+        return DEFAULT_SEED;
+    };
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(seed) => seed,
+        Err(_) => panic!("{SEED_ENV} must be a decimal or 0x-hex u64, got {raw:?}"),
+    }
+}
+
+/// A reusable value generator with an attached shrinker.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut Xoshiro256StarStar) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            generate: Rc::clone(&self.generate),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Builds a generator from a sampling function and a shrinker.
+    pub fn new(
+        generate: impl Fn(&mut Xoshiro256StarStar) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            generate: Rc::new(generate),
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Samples one value.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Candidate simplifications of a failing value.
+    pub fn shrinks(&self, v: &T) -> Vec<T> {
+        (self.shrink)(v)
+    }
+
+    /// Maps the generated value. The mapped generator does not shrink
+    /// (there is no inverse to shrink through).
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let inner = self.generate;
+        Gen::new(move |rng| f(inner(rng)), |_| Vec::new())
+    }
+}
+
+fn shrink_u64_toward(lo: u64, v: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2;
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+        out.push(v - 1);
+    }
+    out.dedup();
+    out
+}
+
+/// Any `u64`, shrinking toward 0.
+pub fn any_u64() -> Gen<u64> {
+    Gen::new(|rng| rng.next_u64(), |&v| shrink_u64_toward(0, v))
+}
+
+/// Any `u8`, shrinking toward 0.
+pub fn any_u8() -> Gen<u8> {
+    Gen::new(
+        |rng| rng.next_u64() as u8,
+        |&v| shrink_u64_toward(0, v as u64).into_iter().map(|v| v as u8).collect(),
+    )
+}
+
+/// A `u64` in `lo..hi` (half-open, like a proptest range), shrinking
+/// toward `lo`.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn u64_range(lo: u64, hi: u64) -> Gen<u64> {
+    assert!(lo < hi, "empty range {lo}..{hi}");
+    Gen::new(
+        move |rng| rng.next_in(lo, hi - 1),
+        move |&v| shrink_u64_toward(lo, v),
+    )
+}
+
+/// A `u32` in `lo..hi`, shrinking toward `lo`.
+pub fn u32_range(lo: u32, hi: u32) -> Gen<u32> {
+    u64_range(lo as u64, hi as u64).map(|v| v as u32)
+}
+
+/// A `usize` in `lo..hi`, shrinking toward `lo`.
+pub fn usize_range(lo: usize, hi: usize) -> Gen<usize> {
+    assert!(lo < hi, "empty range {lo}..{hi}");
+    Gen::new(
+        move |rng| rng.next_in(lo as u64, (hi - 1) as u64) as usize,
+        move |&v| {
+            shrink_u64_toward(lo as u64, v as u64)
+                .into_iter()
+                .map(|v| v as usize)
+                .collect()
+        },
+    )
+}
+
+/// A vector of `len ∈ min_len..max_len` elements (half-open), shrinking
+/// by dropping elements (never below `min_len`) and by shrinking
+/// individual elements.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len < max_len, "empty length range {min_len}..{max_len}");
+    let elem2 = elem.clone();
+    Gen::new(
+        move |rng| {
+            let len = rng.next_in(min_len as u64, (max_len - 1) as u64) as usize;
+            (0..len).map(|_| elem.sample(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            // Structural shrinks: halve, drop one end.
+            if v.len() / 2 >= min_len && v.len() / 2 < v.len() {
+                out.push(v[..v.len() / 2].to_vec());
+            }
+            if v.len() > min_len {
+                out.push(v[1..].to_vec());
+                out.push(v[..v.len() - 1].to_vec());
+            }
+            // Element-wise shrinks.
+            for (i, item) in v.iter().enumerate() {
+                for cand in elem2.shrinks(item) {
+                    let mut copy = v.clone();
+                    copy[i] = cand;
+                    out.push(copy);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// A pair of independent values; shrinks each component.
+pub fn pair<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (sa, sb) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (a.sample(rng), b.sample(rng)),
+        move |(va, vb)| {
+            let mut out = Vec::new();
+            out.extend(sa.shrinks(va).into_iter().map(|x| (x, vb.clone())));
+            out.extend(sb.shrinks(vb).into_iter().map(|x| (va.clone(), x)));
+            out
+        },
+    )
+}
+
+/// A triple of independent values; shrinks each component.
+pub fn triple<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    let (sa, sb, sc) = (a.clone(), b.clone(), c.clone());
+    Gen::new(
+        move |rng| (a.sample(rng), b.sample(rng), c.sample(rng)),
+        move |(va, vb, vc)| {
+            let mut out = Vec::new();
+            out.extend(
+                sa.shrinks(va)
+                    .into_iter()
+                    .map(|x| (x, vb.clone(), vc.clone())),
+            );
+            out.extend(
+                sb.shrinks(vb)
+                    .into_iter()
+                    .map(|x| (va.clone(), x, vc.clone())),
+            );
+            out.extend(
+                sc.shrinks(vc)
+                    .into_iter()
+                    .map(|x| (va.clone(), vb.clone(), x)),
+            );
+            out
+        },
+    )
+}
+
+/// The outcome of running a property on one value: `Ok` to pass, or a
+/// message describing the violation.
+pub type PropResult = Result<(), String>;
+
+fn run_prop<T>(prop: &impl Fn(&T) -> PropResult, value: &T) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "property panicked".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Checks a property over `cfg.cases` generated values.
+///
+/// # Panics
+///
+/// Panics with a reproduction recipe (master seed, case index, original
+/// and shrunk counterexample) on the first failing case.
+pub fn check<T: Debug + 'static>(
+    name: &str,
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> PropResult,
+) {
+    for case in 0..cfg.cases {
+        let case_seed = SplitMix64::mix(cfg.seed, case as u64);
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let value = gen.sample(&mut rng);
+        let Err(error) = run_prop(&prop, &value) else {
+            continue;
+        };
+        // Greedy shrink: commit to the first candidate that still
+        // fails; stop when no candidate fails or the budget runs out.
+        let original = format!("{value:?}");
+        let mut current = value;
+        let mut current_error = error;
+        let mut budget = cfg.max_shrink_steps;
+        'shrinking: while budget > 0 {
+            for cand in gen.shrinks(&current) {
+                if budget == 0 {
+                    break 'shrinking;
+                }
+                budget -= 1;
+                if let Err(e) = run_prop(&prop, &cand) {
+                    current = cand;
+                    current_error = e;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        panic!(
+            "\n[proptest-mini] property '{name}' failed on case {case}/{cases}\n  \
+             master seed: {seed:#x}   (reproduce with {env}={seed:#x})\n  \
+             case seed:   {case_seed:#x}\n  \
+             minimal input: {current:?}\n  \
+             original input: {original}\n  \
+             error: {err}\n",
+            cases = cfg.cases,
+            seed = cfg.seed,
+            env = SEED_ENV,
+            err = current_error,
+        );
+    }
+}
+
+/// Asserts a condition inside a property, returning `Err` (not
+/// panicking) so the harness can shrink.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property, returning `Err` with both values
+/// on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!(
+                "assertion failed: `{}` == `{}`\n  left:  {:?}\n  right: {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check("tautology", &Config::with_cases(50), &any_u64(), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        ran += counter.get();
+        assert_eq!(ran, 50);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let gen = vec_of(any_u64(), 1, 16);
+        let collect = |seed| {
+            let mut out = Vec::new();
+            for case in 0..20u64 {
+                let mut rng = Xoshiro256StarStar::new(SplitMix64::mix(seed, case));
+                out.push(gen.sample(&mut rng));
+            }
+            out
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn failure_panics_with_seed_and_shrunk_input() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "fails_above_100",
+                &Config {
+                    cases: 200,
+                    seed: 99,
+                    max_shrink_steps: 4096,
+                },
+                &u64_range(0, 1_000_000),
+                |&v| {
+                    prop_assert!(v <= 100, "{v} > 100");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("fails_above_100"), "{msg}");
+        assert!(msg.contains("master seed: 0x63"), "{msg}");
+        assert!(msg.contains(SEED_ENV), "{msg}");
+        // Greedy shrinking must reach the boundary counterexample.
+        assert!(msg.contains("minimal input: 101"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "index_panic",
+                &Config { cases: 50, seed: 7, max_shrink_steps: 4096 },
+                &vec_of(any_u8(), 1, 32),
+                |v| {
+                    // Panics (rather than returning Err) on long inputs.
+                    assert!(v.len() < 3, "too long");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("panic"), "{msg}");
+        // Shrinks to the minimal failing length of 3.
+        assert!(msg.contains("minimal input: [0, 0, 0]"), "{msg}");
+    }
+
+    #[test]
+    fn range_generators_respect_bounds() {
+        let gen = triple(u64_range(10, 20), usize_range(0, 5), u32_range(3, 4));
+        let mut rng = Xoshiro256StarStar::new(0);
+        for _ in 0..500 {
+            let (a, b, c) = gen.sample(&mut rng);
+            assert!((10..20).contains(&a));
+            assert!(b < 5);
+            assert_eq!(c, 3);
+        }
+    }
+
+    #[test]
+    fn vec_shrinks_respect_min_len() {
+        let gen = vec_of(any_u8(), 2, 8);
+        let shrinks = gen.shrinks(&vec![5, 6, 7]);
+        assert!(!shrinks.is_empty());
+        assert!(shrinks.iter().all(|s| s.len() >= 2));
+    }
+}

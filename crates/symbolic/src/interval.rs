@@ -5,16 +5,18 @@
 //! The domain is deliberately simple (no wrapping intervals); operations
 //! that would wrap return [`Interval::TOP`], which is always sound.
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_struct;
 
 /// A closed unsigned interval `[lo, hi]`; empty when `lo > hi`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interval {
     /// Inclusive lower bound.
     pub lo: u64,
     /// Inclusive upper bound.
     pub hi: u64,
 }
+
+json_struct!(Interval { lo, hi });
 
 impl Interval {
     /// The full domain.

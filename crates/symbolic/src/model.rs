@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use mvm_json::json_struct;
 
 use crate::expr::{ExprRef, SymId};
 
@@ -11,10 +11,12 @@ use crate::expr::{ExprRef, SymId};
 /// The RES engine turns a model into the concrete inputs and the
 /// concrete partial memory image `Mi` of a synthesized suffix
 /// (paper §2.1).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Model {
     values: BTreeMap<SymId, u64>,
 }
+
+json_struct!(Model { values });
 
 impl Model {
     /// An empty model.

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# check_hermetic.sh — fail if any external (registry/git) dependency is
+# reintroduced anywhere in the workspace.
+#
+# The hermetic-build policy (README.md, DESIGN.md) requires every
+# dependency edge to be an in-repo `path = "..."` dependency so that the
+# workspace builds and tests fully offline. This script is the
+# enforcement point; `tests/hermetic.rs` runs it under `cargo test`.
+#
+# Checks:
+#   1. No Cargo.toml dependency section entry without a `path` key
+#      (entries with `workspace = true` are fine: they resolve through
+#      [workspace.dependencies], which is itself checked).
+#   2. Cargo.lock (if present) lists no package with a `source` field —
+#      registry or git packages always carry one, path packages never do.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+fail=0
+
+# --- 1. Every dependency entry in every manifest must be a path dep. ---
+# Walk each manifest line by line; inside a dependency-ish section,
+# any `name = ...` entry must mention `path =`, and any
+# `[dependencies.name]`-style subtable must contain a `path =` line
+# before the next section header.
+while IFS= read -r manifest; do
+    awk -v file="$manifest" '
+        /^\[/ {
+            # Entering a new section: flush pending subtable check.
+            if (subtable != "" && !subtable_has_path) {
+                printf "%s: dependency `%s` is not a path dependency\n", file, subtable
+                bad = 1
+            }
+            subtable = ""
+            in_deps = ($0 ~ /^\[(workspace\.)?(dependencies|dev-dependencies|build-dependencies)\]/)
+            if ($0 ~ /^\[(workspace\.)?(dependencies|dev-dependencies|build-dependencies)\./) {
+                subtable = $0
+                sub(/^\[[^.]*\.?(dependencies|dev-dependencies|build-dependencies)\./, "", subtable)
+                sub(/\]$/, "", subtable)
+                subtable_has_path = 0
+            }
+            next
+        }
+        subtable != "" && /^[[:space:]]*(path|workspace)[[:space:]]*=/ { subtable_has_path = 1 }
+        in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
+            line = $0
+            sub(/#.*/, "", line)
+            if (line !~ /path[[:space:]]*=/ && line !~ /workspace[[:space:]]*=[[:space:]]*true/ && line !~ /^[[:space:]]*$/) {
+                name = line
+                sub(/[[:space:]]*=.*/, "", name)
+                gsub(/[[:space:]]/, "", name)
+                printf "%s: dependency `%s` is not a path dependency\n", file, name
+                bad = 1
+            }
+        }
+        END {
+            if (subtable != "" && !subtable_has_path) {
+                printf "%s: dependency `%s` is not a path dependency\n", file, subtable
+                bad = 1
+            }
+            exit bad
+        }
+    ' "$manifest" || fail=1
+done < <(find . -name Cargo.toml -not -path "./target/*" | sort)
+
+# --- 2. Cargo.lock must contain only source-less (path) packages. ---
+if [[ -f Cargo.lock ]]; then
+    if grep -n '^source = ' Cargo.lock; then
+        echo "Cargo.lock: found packages with an external source (above)"
+        fail=1
+    fi
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "hermetic check FAILED: external dependencies found" >&2
+    exit 1
+fi
+echo "hermetic check OK: all dependencies are in-repo path dependencies"

@@ -27,8 +27,8 @@ fn load(dir: &Path) -> Result<(Program, Coredump), String> {
     let d = std::fs::read_to_string(dir.join("dump.json"))
         .map_err(|e| format!("reading dump.json: {e}"))?;
     let program: Program =
-        serde_json::from_str(&p).map_err(|e| format!("parsing program.json: {e}"))?;
-    let dump: Coredump = serde_json::from_str(&d).map_err(|e| format!("parsing dump.json: {e}"))?;
+        mvm_json::from_str(&p).map_err(|e| format!("parsing program.json: {e}"))?;
+    let dump: Coredump = mvm_json::from_str(&d).map_err(|e| format!("parsing dump.json: {e}"))?;
     Ok((program, dump))
 }
 
@@ -48,14 +48,11 @@ fn cmd_crash(kind: BugKind, dir: &Path) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     std::fs::write(
         dir.join("program.json"),
-        serde_json::to_string_pretty(&program).map_err(|e| e.to_string())?,
+        mvm_json::to_string_pretty(&program),
     )
     .map_err(|e| e.to_string())?;
-    std::fs::write(
-        dir.join("dump.json"),
-        serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    std::fs::write(dir.join("dump.json"), mvm_json::to_string_pretty(&dump))
+        .map_err(|e| e.to_string())?;
     println!(
         "crashed {} (`{}` in thread {}); wrote {}/program.json and dump.json",
         kind.name(),

@@ -1,0 +1,90 @@
+//! Golden-fixture tests for the JSON wire format.
+//!
+//! The fixtures under `tests/fixtures/` pin the exact on-disk encoding
+//! of the three exchange types (`Program`, `Coredump`, `Minidump`) so
+//! that format drift in `mvm-json` or in the `json_struct!`/`json_enum!`
+//! expansions is caught as a diff, not discovered when an archived dump
+//! no longer parses. Each test asserts three things:
+//!
+//! 1. serializing a deterministically-built value reproduces the
+//!    checked-in fixture byte-for-byte,
+//! 2. parsing the fixture back yields an equal value, and
+//! 3. a compact re-serialization round-trips through the parser.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! RES_REGEN_FIXTURES=1 cargo test --test golden_json
+//! ```
+
+use std::path::PathBuf;
+
+use res_debugger::prelude::*;
+use res_debugger::workloads::run_to_failure;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The canonical crash scenario for the fixtures: a short DivByZero
+/// workload. Single-threaded and input-free up to the faulting divide,
+/// so the run — and therefore the dump — is fully deterministic.
+fn crash() -> (Program, Coredump) {
+    let program = build_workload(
+        BugKind::DivByZero,
+        WorkloadParams {
+            prefix_iters: 2,
+            hash_rounds: 1,
+        },
+    );
+    let machine = (0..500)
+        .find_map(|s| run_to_failure(&program, s))
+        .expect("DivByZero workload must fault");
+    let dump = Coredump::capture(&machine);
+    (program, dump)
+}
+
+fn check_golden<T>(name: &str, value: &T)
+where
+    T: mvm_json::ToJson + mvm_json::FromJson + PartialEq + std::fmt::Debug,
+{
+    let rendered = mvm_json::to_string_pretty(value);
+    let path = fixture_path(name);
+    if std::env::var_os("RES_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, format!("{rendered}\n")).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); regenerate with RES_REGEN_FIXTURES=1", path.display()));
+    assert_eq!(
+        golden.trim_end(),
+        rendered,
+        "fixture {name} drifted from the serializer output; \
+         if the format change is intentional, regenerate with RES_REGEN_FIXTURES=1"
+    );
+    let parsed: T = mvm_json::from_str(&golden).expect("fixture must parse");
+    assert_eq!(&parsed, value, "fixture {name} parsed to a different value");
+    let compact = mvm_json::to_string(&parsed);
+    let reparsed: T = mvm_json::from_str(&compact).expect("compact form must parse");
+    assert_eq!(reparsed, parsed, "compact round-trip changed {name}");
+}
+
+#[test]
+fn program_matches_golden_fixture() {
+    let (program, _) = crash();
+    check_golden("program.json", &program);
+}
+
+#[test]
+fn coredump_matches_golden_fixture() {
+    let (_, dump) = crash();
+    check_golden("coredump.json", &dump);
+}
+
+#[test]
+fn minidump_matches_golden_fixture() {
+    let (_, dump) = crash();
+    check_golden("minidump.json", &Minidump::from_coredump(&dump));
+}

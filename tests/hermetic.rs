@@ -1,0 +1,41 @@
+//! Hermetic-build enforcement: `cargo test` fails if any external
+//! (registry or git) dependency is reintroduced anywhere in the
+//! workspace. The actual scan lives in `scripts/check_hermetic.sh` so
+//! it can also run standalone in CI or a pre-commit hook.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn workspace_has_no_external_dependencies() {
+    let script = Path::new(env!("CARGO_MANIFEST_DIR")).join("scripts/check_hermetic.sh");
+    let output = Command::new("bash")
+        .arg(&script)
+        .output()
+        .expect("run scripts/check_hermetic.sh");
+    assert!(
+        output.status.success(),
+        "hermetic check failed:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+/// Belt-and-braces duplicate of the script's Cargo.lock check in pure
+/// Rust, in case `bash` is unavailable wherever the tests run.
+#[test]
+fn lockfile_has_no_registry_packages() {
+    let lock = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.lock");
+    if !lock.exists() {
+        return;
+    }
+    let text = std::fs::read_to_string(&lock).expect("read Cargo.lock");
+    let external: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("source = "))
+        .collect();
+    assert!(
+        external.is_empty(),
+        "Cargo.lock lists externally-sourced packages: {external:?}"
+    );
+}

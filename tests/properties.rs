@@ -1,159 +1,219 @@
-//! Property-based tests over the core invariants.
+//! Property-based tests over the core invariants, on the in-repo
+//! `proptest-mini` harness. Case counts match the original proptest
+//! setup (256 per property; 8 for the expensive end-to-end one), and a
+//! failure panics with the master seed so any counterexample reproduces
+//! via `RES_PROP_SEED=<seed> cargo test`.
 
-use proptest::prelude::*;
+use proptest_mini::{
+    any_u64, any_u8, check, pair, prop_assert, prop_assert_eq, triple, u32_range, u64_range,
+    usize_range, vec_of, Config,
+};
 
 use res_debugger::isa::{BinOp, UnOp};
 use res_debugger::machine::{Machine, MachineConfig, Memory, Outcome, SchedPolicy};
 use res_debugger::prelude::*;
 use res_debugger::symbolic::{Expr, Interval, Model, SolveResult, Solver};
 
-proptest! {
-    /// The expression simplifier never changes semantics: evaluating the
-    /// simplified tree equals evaluating the original operation.
-    #[test]
-    fn simplifier_preserves_binop_semantics(
-        a in any::<u64>(),
-        b in any::<u64>(),
-        op_idx in 0usize..17,
-    ) {
-        let ops = [
-            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::DivU, BinOp::RemU,
-            BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Shl, BinOp::Shr,
-            BinOp::Sar, BinOp::Eq, BinOp::Ne, BinOp::LtU, BinOp::LeU,
-            BinOp::LtS, BinOp::LeS,
-        ];
-        let op = ops[op_idx];
-        let e = Expr::bin(op, Expr::konst(a), Expr::konst(b));
-        match op.eval(a, b) {
-            Some(v) => prop_assert_eq!(e.as_const(), Some(v)),
-            None => prop_assert!(e.as_const().is_none()),
-        }
-    }
-
-    /// Simplification identities hold for symbolic operands under any
-    /// witness.
-    #[test]
-    fn simplifier_identities_sound(x in any::<u64>(), c in any::<u64>()) {
-        let sym = Expr::sym(0);
-        let lookup = |_: u32| Some(x);
-        for (e, expected) in [
-            (Expr::bin(BinOp::Add, sym.clone(), Expr::konst(c)), x.wrapping_add(c)),
-            (Expr::bin(BinOp::Xor, sym.clone(), sym.clone()), 0),
-            (Expr::bin(BinOp::Sub, sym.clone(), sym.clone()), 0),
-            (Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, sym.clone())), x),
-        ] {
-            prop_assert_eq!(e.eval(&lookup), Some(expected));
-        }
-    }
-
-    /// A Sat answer from the solver always comes with a model that
-    /// satisfies every constraint.
-    #[test]
-    fn solver_models_are_witnesses(
-        target in any::<u64>(),
-        addend in any::<u64>(),
-        bound in 1u64..1000,
-    ) {
-        let cs = vec![
-            Expr::bin(
-                BinOp::Eq,
-                Expr::bin(BinOp::Add, Expr::sym(0), Expr::konst(addend)),
-                Expr::konst(target),
-            ),
-            Expr::bin(BinOp::LtU, Expr::sym(1), Expr::konst(bound)),
-        ];
-        let solver = Solver::new();
-        if let SolveResult::Sat(m) = solver.check(&cs) {
-            for c in &cs {
-                prop_assert_eq!(m.eval_total(c).map(|v| v != 0), Some(true));
+/// The expression simplifier never changes semantics: evaluating the
+/// simplified tree equals evaluating the original operation.
+#[test]
+fn simplifier_preserves_binop_semantics() {
+    check(
+        "simplifier_preserves_binop_semantics",
+        &Config::new(),
+        &triple(any_u64(), any_u64(), usize_range(0, 17)),
+        |&(a, b, op_idx)| {
+            let ops = [
+                BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::DivU, BinOp::RemU,
+                BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Shl, BinOp::Shr,
+                BinOp::Sar, BinOp::Eq, BinOp::Ne, BinOp::LtU, BinOp::LeU,
+                BinOp::LtS, BinOp::LeS,
+            ];
+            let op = ops[op_idx];
+            let e = Expr::bin(op, Expr::konst(a), Expr::konst(b));
+            match op.eval(a, b) {
+                Some(v) => prop_assert_eq!(e.as_const(), Some(v)),
+                None => prop_assert!(e.as_const().is_none()),
             }
-        } else {
-            // x + addend == target is always solvable.
-            prop_assert!(false, "must be sat");
-        }
-    }
-
-    /// Interval refinement never *adds* values: refined ⊆ original.
-    #[test]
-    fn interval_refinement_shrinks(lo in any::<u64>(), hi in any::<u64>(), v in any::<u64>()) {
-        let iv = Interval::new(lo.min(hi), lo.max(hi));
-        for refined in [
-            iv.refine_lt(v), iv.refine_le(v), iv.refine_gt(v),
-            iv.refine_ge(v), iv.refine_ne(v),
-        ] {
-            prop_assert!(refined.count() <= iv.count());
-            if !refined.is_empty() {
-                prop_assert!(iv.contains(refined.lo) && iv.contains(refined.hi));
-            }
-        }
-    }
-
-    /// Memory round-trips arbitrary byte strings at arbitrary addresses.
-    #[test]
-    fn memory_round_trips(addr in 0u64..u64::MAX - 64, bytes in proptest::collection::vec(any::<u8>(), 1..32)) {
-        let mut m = Memory::new();
-        m.write_bytes(addr, &bytes);
-        prop_assert_eq!(m.read_bytes(addr, bytes.len()), bytes);
-    }
-
-    /// Machine execution is deterministic: identical configs produce
-    /// identical outcomes, step counts, and memory.
-    #[test]
-    fn machine_is_deterministic(seed in any::<u64>(), switch in 0u32..1000) {
-        let p = build_workload(BugKind::DataRace, WorkloadParams { prefix_iters: 3, hash_rounds: 1 });
-        let run = || {
-            let mut m = Machine::new(
-                p.clone(),
-                MachineConfig {
-                    sched: SchedPolicy::Random { seed, switch_per_mille: switch },
-                    max_steps: 200_000,
-                    ..MachineConfig::default()
-                },
-            );
-            let o = m.run();
-            (format!("{o:?}"), m.steps(), m.memory().page_count())
-        };
-        prop_assert_eq!(run(), run());
-    }
-
-    /// Models are total under `get_or_zero` and never panic.
-    #[test]
-    fn model_total_eval_never_fails(syms in proptest::collection::vec(any::<u64>(), 1..8)) {
-        let mut m = Model::new();
-        for (i, v) in syms.iter().enumerate() {
-            m.set(i as u32, *v);
-        }
-        let e = Expr::bin(
-            BinOp::Add,
-            Expr::sym(0),
-            Expr::bin(BinOp::Xor, Expr::sym(100), Expr::konst(5)),
-        );
-        prop_assert!(m.eval_total(&e).is_some());
-    }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Simplification identities hold for symbolic operands under any
+/// witness.
+#[test]
+fn simplifier_identities_sound() {
+    check(
+        "simplifier_identities_sound",
+        &Config::new(),
+        &pair(any_u64(), any_u64()),
+        |&(x, c)| {
+            let sym = Expr::sym(0);
+            let lookup = |_: u32| Some(x);
+            for (e, expected) in [
+                (Expr::bin(BinOp::Add, sym.clone(), Expr::konst(c)), x.wrapping_add(c)),
+                (Expr::bin(BinOp::Xor, sym.clone(), sym.clone()), 0),
+                (Expr::bin(BinOp::Sub, sym.clone(), sym.clone()), 0),
+                (Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, sym.clone())), x),
+            ] {
+                prop_assert_eq!(e.eval(&lookup), Some(expected));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// End-to-end: for the deterministic single-threaded workloads,
-    /// every synthesized suffix replays into the exact coredump — across
-    /// randomized prefix lengths.
-    #[test]
-    fn synthesis_replay_round_trip(prefix in 1u64..200) {
-        let p = build_workload(
-            BugKind::DivByZero,
-            WorkloadParams { prefix_iters: prefix, hash_rounds: 1 },
-        );
-        let mut m = Machine::new(p.clone(), MachineConfig::default());
-        let o = m.run();
-        let faulted = matches!(o, Outcome::Faulted { .. });
-        prop_assert!(faulted);
-        let d = Coredump::capture(&m);
-        let engine = ResEngine::new(&p, ResConfig::default());
-        let result = engine.synthesize(&d);
-        let found = matches!(result.verdict, Verdict::SuffixFound);
-        prop_assert!(found);
-        let ok = result.suffixes.iter().any(|s| replay_suffix(&p, &d, s).reproduced);
-        prop_assert!(ok);
-    }
+/// A Sat answer from the solver always comes with a model that
+/// satisfies every constraint.
+#[test]
+fn solver_models_are_witnesses() {
+    check(
+        "solver_models_are_witnesses",
+        &Config::new(),
+        &triple(any_u64(), any_u64(), u64_range(1, 1000)),
+        |&(target, addend, bound)| {
+            let cs = vec![
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::bin(BinOp::Add, Expr::sym(0), Expr::konst(addend)),
+                    Expr::konst(target),
+                ),
+                Expr::bin(BinOp::LtU, Expr::sym(1), Expr::konst(bound)),
+            ];
+            let solver = Solver::new();
+            if let SolveResult::Sat(m) = solver.check(&cs) {
+                for c in &cs {
+                    prop_assert_eq!(m.eval_total(c).map(|v| v != 0), Some(true));
+                }
+            } else {
+                // x + addend == target is always solvable.
+                prop_assert!(false, "must be sat");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Interval refinement never *adds* values: refined ⊆ original.
+#[test]
+fn interval_refinement_shrinks() {
+    check(
+        "interval_refinement_shrinks",
+        &Config::new(),
+        &triple(any_u64(), any_u64(), any_u64()),
+        |&(lo, hi, v)| {
+            let iv = Interval::new(lo.min(hi), lo.max(hi));
+            for refined in [
+                iv.refine_lt(v), iv.refine_le(v), iv.refine_gt(v),
+                iv.refine_ge(v), iv.refine_ne(v),
+            ] {
+                prop_assert!(refined.count() <= iv.count());
+                if !refined.is_empty() {
+                    prop_assert!(iv.contains(refined.lo) && iv.contains(refined.hi));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Memory round-trips arbitrary byte strings at arbitrary addresses.
+#[test]
+fn memory_round_trips() {
+    check(
+        "memory_round_trips",
+        &Config::new(),
+        &pair(u64_range(0, u64::MAX - 64), vec_of(any_u8(), 1, 32)),
+        |(addr, bytes)| {
+            let mut m = Memory::new();
+            m.write_bytes(*addr, bytes);
+            prop_assert_eq!(m.read_bytes(*addr, bytes.len()), bytes.clone());
+            Ok(())
+        },
+    );
+}
+
+/// Machine execution is deterministic: identical configs produce
+/// identical outcomes, step counts, and memory.
+#[test]
+fn machine_is_deterministic() {
+    check(
+        "machine_is_deterministic",
+        &Config::new(),
+        &pair(any_u64(), u32_range(0, 1000)),
+        |&(seed, switch)| {
+            let p = build_workload(
+                BugKind::DataRace,
+                WorkloadParams { prefix_iters: 3, hash_rounds: 1 },
+            );
+            let run = || {
+                let mut m = Machine::new(
+                    p.clone(),
+                    MachineConfig {
+                        sched: SchedPolicy::Random { seed, switch_per_mille: switch },
+                        max_steps: 200_000,
+                        ..MachineConfig::default()
+                    },
+                );
+                let o = m.run();
+                (format!("{o:?}"), m.steps(), m.memory().page_count())
+            };
+            prop_assert_eq!(run(), run());
+            Ok(())
+        },
+    );
+}
+
+/// Models are total under `get_or_zero` and never panic.
+#[test]
+fn model_total_eval_never_fails() {
+    check(
+        "model_total_eval_never_fails",
+        &Config::new(),
+        &vec_of(any_u64(), 1, 8),
+        |syms| {
+            let mut m = Model::new();
+            for (i, v) in syms.iter().enumerate() {
+                m.set(i as u32, *v);
+            }
+            let e = Expr::bin(
+                BinOp::Add,
+                Expr::sym(0),
+                Expr::bin(BinOp::Xor, Expr::sym(100), Expr::konst(5)),
+            );
+            prop_assert!(m.eval_total(&e).is_some());
+            Ok(())
+        },
+    );
+}
+
+/// End-to-end: for the deterministic single-threaded workloads, every
+/// synthesized suffix replays into the exact coredump — across
+/// randomized prefix lengths.
+#[test]
+fn synthesis_replay_round_trip() {
+    check(
+        "synthesis_replay_round_trip",
+        &Config::with_cases(8),
+        &u64_range(1, 200),
+        |&prefix| {
+            let p = build_workload(
+                BugKind::DivByZero,
+                WorkloadParams { prefix_iters: prefix, hash_rounds: 1 },
+            );
+            let mut m = Machine::new(p.clone(), MachineConfig::default());
+            let o = m.run();
+            let faulted = matches!(o, Outcome::Faulted { .. });
+            prop_assert!(faulted);
+            let d = Coredump::capture(&m);
+            let engine = ResEngine::new(&p, ResConfig::default());
+            let result = engine.synthesize(&d);
+            let found = matches!(result.verdict, Verdict::SuffixFound);
+            prop_assert!(found);
+            let ok = result.suffixes.iter().any(|s| replay_suffix(&p, &d, s).reproduced);
+            prop_assert!(ok);
+            Ok(())
+        },
+    );
 }

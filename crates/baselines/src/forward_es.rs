@@ -8,9 +8,17 @@
 //! and the candidate space (schedules × inputs) grows with the number of
 //! scheduling and input choice points, which itself grows with length.
 //! RES's cost is independent of both (experiment E3).
+//!
+//! The searcher is driven by the same exploration kernel as the RES
+//! engine (`res_core::kernel`): candidates form a linear chain of
+//! nodes walked by a pluggable [`res_core::kernel::Frontier`], resource limits are one
+//! shared [`Budget`], the minidump-match check goes through the
+//! [`CompatCheck`] seam backed by a memoizing [`SolverSession`], and
+//! costs come back as [`KernelStats`]. E3 therefore compares the two
+//! *algorithms* under identical accounting, not two bespoke harnesses.
 
 use mvm_core::Minidump;
-use mvm_isa::Program;
+use mvm_isa::{Loc, Program};
 use mvm_machine::{
     InputSource,
     Machine,
@@ -18,14 +26,27 @@ use mvm_machine::{
     Outcome,
     SchedPolicy, //
 };
+use mvm_symbolic::{Expr, ExprRef, SolverConfig, SolverSession};
+use res_core::kernel::{
+    explore, Budget, CompatCheck, CompatVerdict, CutReason, ExploreConfig, Finalize, FrontierKind,
+    HypothesisGen, KernelStats, NodeScore, SessionCompat, StateTransform,
+};
 
-/// Forward-search configuration.
+/// Forward-search configuration, expressed in the kernel's shared
+/// vocabulary: `budget.max_nodes` is the candidate cap and
+/// `budget.hyp_max_steps` the per-candidate instruction budget.
 #[derive(Debug, Clone)]
 pub struct ForwardConfig {
-    /// Candidate executions to try before giving up.
-    pub max_candidates: u64,
-    /// Per-candidate step budget.
-    pub max_steps_per_candidate: u64,
+    /// Resource limits. `max_nodes` bounds candidate executions,
+    /// `hyp_max_steps` bounds each candidate's instruction count, and
+    /// the solver/deadline limits apply as in the RES engine.
+    pub budget: Budget,
+    /// Exploration order over the candidate chain. The chain is linear,
+    /// so every order visits the same candidates; the knob exists for
+    /// uniformity with [`res_core::ResConfig`].
+    pub frontier: FrontierKind,
+    /// Solver tuning for the compatibility check.
+    pub solver: SolverConfig,
     /// Base seed.
     pub seed: u64,
 }
@@ -33,8 +54,14 @@ pub struct ForwardConfig {
 impl Default for ForwardConfig {
     fn default() -> Self {
         ForwardConfig {
-            max_candidates: 256,
-            max_steps_per_candidate: 5_000_000,
+            budget: Budget {
+                max_nodes: 256,
+                hyp_max_steps: 5_000_000,
+                max_solver_assignments: None,
+                deadline: None,
+            },
+            frontier: FrontierKind::Dfs,
+            solver: SolverConfig::default(),
             seed: 42,
         }
     }
@@ -52,12 +79,170 @@ pub struct ForwardResult {
     pub total_steps: u64,
     /// The seed of the reproducing candidate.
     pub witness_seed: Option<u64>,
+    /// Kernel accounting (nodes, rejections, cut reason, solver cache
+    /// hits/misses) in the same shape the RES engine reports.
+    pub stats: KernelStats,
 }
 
 /// The ESD-like forward searcher.
 #[derive(Debug, Clone, Default)]
 pub struct ForwardSynthesizer {
     config: ForwardConfig,
+}
+
+/// FNV-1a over a string, used to fingerprint observed and goal failure
+/// descriptors as solver constants.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn stack_fingerprint(stack: &[Loc]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for loc in stack {
+        h ^= fnv1a(&loc.to_string());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One candidate execution, identified by its position in the seed
+/// sequence. Candidates form a linear chain: expanding node `i` runs
+/// candidate `i` and yields node `i + 1`.
+struct FwdNode {
+    /// Next candidate index to run.
+    index: u64,
+    /// Seed of a reproducing candidate found on the path to this node.
+    witness: Option<u64>,
+}
+
+struct ForwardDriver<'a> {
+    program: &'a Program,
+    /// Precomputed goal fingerprints: fault class, then call stack.
+    goal_prints: [u64; 2],
+    config: &'a ForwardConfig,
+    session: SolverSession,
+    candidates_tried: u64,
+    total_steps: u64,
+}
+
+impl ForwardDriver<'_> {
+    fn seed_for(&self, index: u64) -> u64 {
+        self.config
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9e37_79b9))
+    }
+
+    /// The minidump-match check as the degenerate concrete case of the
+    /// kernel's `S' ⊇ Spost` seam: the observed failure descriptor must
+    /// equal the goal's, expressed as equality constraints over
+    /// fingerprint constants and discharged by the shared session (so
+    /// repeated mismatch shapes hit the memo cache).
+    fn matches_goal(&self, observed: [u64; 2]) -> bool {
+        let constraints: Vec<ExprRef> = observed
+            .iter()
+            .zip(self.goal_prints.iter())
+            .map(|(&obs, &goal)| Expr::bin(mvm_isa::BinOp::Eq, Expr::konst(obs), Expr::konst(goal)))
+            .collect();
+        match SessionCompat::new(&self.session).compatible(&constraints) {
+            CompatVerdict::Compatible => true,
+            // Concrete constraints always decide; treat a (theoretical)
+            // Undecided conservatively as a mismatch.
+            CompatVerdict::Incompatible | CompatVerdict::Undecided(_) => false,
+        }
+    }
+}
+
+impl HypothesisGen for ForwardDriver<'_> {
+    type Node = FwdNode;
+    type Candidate = u64;
+
+    fn generate(&mut self, node: &FwdNode) -> Vec<u64> {
+        if node.witness.is_some() || node.index >= self.config.budget.max_nodes {
+            return Vec::new();
+        }
+        vec![self.seed_for(node.index)]
+    }
+}
+
+impl StateTransform for ForwardDriver<'_> {
+    fn transform(
+        &mut self,
+        node: &FwdNode,
+        cand: &u64,
+        stats: &mut KernelStats,
+    ) -> Option<(NodeScore, FwdNode)> {
+        let seed = *cand;
+        let mut m = Machine::new(
+            self.program.clone(),
+            MachineConfig {
+                sched: SchedPolicy::Random {
+                    seed,
+                    switch_per_mille: 400,
+                },
+                input: InputSource::Seeded {
+                    seed: seed ^ 0x5eed,
+                },
+                max_steps: self.config.budget.hyp_max_steps,
+                ..MachineConfig::default()
+            },
+        );
+        let outcome = m.run();
+        self.candidates_tried += 1;
+        self.total_steps += m.steps();
+
+        let mut witness = None;
+        if let Outcome::Faulted { fault, tid, .. } = outcome {
+            let t = &m.threads()[&tid];
+            let stack: Vec<Loc> = t.frames.iter().map(|f| f.loc()).collect();
+            let observed = [fnv1a(fault.class()), stack_fingerprint(&stack)];
+            if self.matches_goal(observed) {
+                stats.accepted += 1;
+                witness = Some(seed);
+            } else {
+                // Faulted, but not the goal failure: rejected by the
+                // compatibility check.
+                stats.rejected_solver += 1;
+            }
+        } else {
+            // Ran to completion (or out of steps) without faulting.
+            stats.rejected_exec += 1;
+        }
+
+        // The chain always continues: the child either carries the
+        // witness (and finalizes on its expansion) or moves on to the
+        // next candidate.
+        let child = FwdNode {
+            index: node.index + 1,
+            witness,
+        };
+        let score = NodeScore {
+            priority: 0,
+            depth: child.index as usize,
+            crumbs_matched: usize::from(child.witness.is_some()),
+        };
+        Some((score, child))
+    }
+
+    fn solver_spent(&self) -> u64 {
+        self.session.assignments_spent()
+    }
+}
+
+impl Finalize for ForwardDriver<'_> {
+    type Artifact = u64;
+
+    fn depth(&self, node: &FwdNode) -> usize {
+        node.index as usize
+    }
+
+    fn finalize(&mut self, node: &FwdNode, _stats: &mut KernelStats) -> Option<u64> {
+        node.witness
+    }
 }
 
 impl ForwardSynthesizer {
@@ -72,45 +257,57 @@ impl ForwardSynthesizer {
     /// the same program counter with the same call stack — the
     /// information a minidump contains.
     pub fn synthesize(&self, program: &Program, goal: &Minidump) -> ForwardResult {
-        let mut total_steps = 0u64;
-        for i in 0..self.config.max_candidates {
-            let seed = self.config.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9));
-            let mut m = Machine::new(
-                program.clone(),
-                MachineConfig {
-                    sched: SchedPolicy::Random {
-                        seed,
-                        switch_per_mille: 400,
-                    },
-                    input: InputSource::Seeded { seed: seed ^ 0x5eed },
-                    max_steps: self.config.max_steps_per_candidate,
-                    ..MachineConfig::default()
-                },
-            );
-            let outcome = m.run();
-            total_steps += m.steps();
-            let Outcome::Faulted { fault, tid, .. } = outcome else {
-                continue;
-            };
-            if fault.class() != goal.fault.class() {
-                continue;
-            }
-            let t = &m.threads()[&tid];
-            let stack: Vec<_> = t.frames.iter().map(|f| f.loc()).collect();
-            if stack == goal.call_stack() {
-                return ForwardResult {
-                    found: true,
-                    candidates_tried: i + 1,
-                    total_steps,
-                    witness_seed: Some(seed),
-                };
-            }
+        let mut driver = ForwardDriver {
+            program,
+            goal_prints: [
+                fnv1a(goal.fault.class()),
+                stack_fingerprint(&goal.call_stack()),
+            ],
+            config: &self.config,
+            session: SolverSession::with_config(self.config.solver),
+            candidates_tried: 0,
+            total_steps: 0,
+        };
+        let cap = self.config.budget.max_nodes;
+        // The node budget is enforced by `generate` (the candidate cap);
+        // give the kernel two nodes of headroom so a witness found on
+        // the very last candidate still gets its finalize expansion
+        // instead of being cut at the pop.
+        let explore_cfg = ExploreConfig {
+            budget: Budget {
+                max_nodes: cap.saturating_add(2),
+                ..self.config.budget
+            },
+            max_depth: usize::MAX,
+            max_artifacts: 1,
+        };
+        let mut frontier = self.config.frontier.build();
+        let mut stats = KernelStats::default();
+        let root = FwdNode {
+            index: 0,
+            witness: None,
+        };
+        let artifacts = explore(
+            &mut driver,
+            root,
+            &explore_cfg,
+            frontier.as_mut(),
+            &mut stats,
+        );
+        stats.solver = driver.session.stats();
+        let witness_seed = artifacts.first().copied();
+        if witness_seed.is_none() && stats.cut.is_none() {
+            // The candidate cap is this harness's node budget; record
+            // exhausting it as the cut rather than reporting a silently
+            // truncated search.
+            stats.cut = Some(CutReason::Nodes);
         }
         ForwardResult {
-            found: false,
-            candidates_tried: self.config.max_candidates,
-            total_steps,
-            witness_seed: None,
+            found: witness_seed.is_some(),
+            candidates_tried: driver.candidates_tried,
+            total_steps: driver.total_steps,
+            witness_seed,
+            stats,
         }
     }
 }
@@ -142,6 +339,8 @@ mod tests {
         let r = ForwardSynthesizer::default().synthesize(&p, &goal);
         assert!(r.found);
         assert_eq!(r.candidates_tried, 1);
+        assert_eq!(r.stats.accepted, 1);
+        assert_eq!(r.stats.cut, None);
     }
 
     #[test]
@@ -164,7 +363,10 @@ mod tests {
     fn concurrency_failures_need_many_candidates() {
         let (p, goal) = goal_for(BugKind::AtomicityViolation, 10);
         let r = ForwardSynthesizer::new(ForwardConfig {
-            max_candidates: 512,
+            budget: Budget {
+                max_nodes: 512,
+                ..ForwardConfig::default().budget
+            },
             ..ForwardConfig::default()
         })
         .synthesize(&p, &goal);
@@ -172,5 +374,27 @@ mod tests {
         // more than one candidate (and may fail outright).
         assert!(r.candidates_tried >= 1);
         assert!(r.total_steps > 0);
+    }
+
+    #[test]
+    fn exhausted_candidate_space_is_a_recorded_cut() {
+        // An impossible goal: doctor the minidump's fault class so no
+        // candidate can ever match.
+        let (p, mut goal) = goal_for(BugKind::DivByZero, 10);
+        goal.fault = mvm_machine::Fault::OutOfMemory;
+        let r = ForwardSynthesizer::new(ForwardConfig {
+            budget: Budget {
+                max_nodes: 8,
+                ..ForwardConfig::default().budget
+            },
+            ..ForwardConfig::default()
+        })
+        .synthesize(&p, &goal);
+        assert!(!r.found);
+        assert_eq!(r.candidates_tried, 8);
+        assert_eq!(r.stats.cut, Some(CutReason::Nodes));
+        // Repeated mismatch shapes share memoized solver answers.
+        assert!(r.stats.solver.queries >= 1);
+        assert!(r.stats.solver.cache_hits + r.stats.solver.cache_misses == r.stats.solver.queries);
     }
 }

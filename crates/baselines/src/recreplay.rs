@@ -104,7 +104,9 @@ pub fn measure_recording(program: &Program, kind: RecorderKind, seed: u64) -> Re
     );
     let outcome = m.run();
     let base_steps = match outcome {
-        Outcome::Halted { steps } | Outcome::Faulted { steps, .. } | Outcome::StepLimit { steps } => steps,
+        Outcome::Halted { steps }
+        | Outcome::Faulted { steps, .. }
+        | Outcome::StepLimit { steps } => steps,
     };
     let mut mem_events = 0u64;
     let mut io_sync_events = 0u64;

@@ -174,7 +174,12 @@ mod tests {
         };
         let shallow = backward_slice(&p, fault, 3, 1_000_000);
         let deep = backward_slice(&p, fault, 18, 1_000_000);
-        assert!(deep.paths > shallow.paths, "{} vs {}", deep.paths, shallow.paths);
+        assert!(
+            deep.paths > shallow.paths,
+            "{} vs {}",
+            deep.paths,
+            shallow.paths
+        );
     }
 
     #[test]

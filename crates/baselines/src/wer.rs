@@ -82,9 +82,7 @@ pub fn misbucket_rate(corpus: &[FailureReport], keys: &[String]) -> f64 {
     let mut bug_home: HashMap<res_workloads::BugKind, &str> = HashMap::new();
     for ((bug, bucket), n) in &bug_bucket_counts {
         let cur = bug_home.get(bug);
-        let cur_n = cur
-            .map(|b| bug_bucket_counts[&(*bug, *b)])
-            .unwrap_or(0);
+        let cur_n = cur.map(|b| bug_bucket_counts[&(*bug, *b)]).unwrap_or(0);
         if *n > cur_n {
             bug_home.insert(*bug, bucket);
         }
@@ -97,9 +95,7 @@ pub fn misbucket_rate(corpus: &[FailureReport], keys: &[String]) -> f64 {
     let mut bucket_owner: HashMap<&str, res_workloads::BugKind> = HashMap::new();
     for ((bucket, bug), n) in &bucket_bug_counts {
         let cur = bucket_owner.get(bucket);
-        let cur_n = cur
-            .map(|b| bucket_bug_counts[&(*bucket, *b)])
-            .unwrap_or(0);
+        let cur_n = cur.map(|b| bucket_bug_counts[&(*bucket, *b)]).unwrap_or(0);
         if *n > cur_n {
             bucket_owner.insert(bucket, *bug);
         }

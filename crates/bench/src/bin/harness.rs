@@ -35,7 +35,11 @@ fn print_experiment(e: &Experiment) {
     println!("{}", e.table);
     println!(
         "shape check: {}",
-        if e.shape_holds { "HOLDS" } else { "DOES NOT HOLD" }
+        if e.shape_holds {
+            "HOLDS"
+        } else {
+            "DOES NOT HOLD"
+        }
     );
     println!();
 }

@@ -145,8 +145,8 @@ pub fn e2_figure1() -> Experiment {
 /// execution synthesis scales with it.
 pub fn e3_length_sweep() -> Experiment {
     let mut table = String::from(
-        "prefix iters | exec steps | RES nodes | RES time | fwd-ES steps | fwd-ES time\n\
-         -------------+------------+-----------+----------+--------------+------------\n",
+        "prefix iters | exec steps | RES nodes | RES solver h/m | RES time | fwd-ES steps | fwd solver h/m | fwd-ES time\n\
+         -------------+------------+-----------+----------------+----------+--------------+----------------+------------\n",
     );
     let mut res_times = Vec::new();
     let mut fwd_steps = Vec::new();
@@ -170,19 +170,28 @@ pub fn e3_length_sweep() -> Experiment {
         fwd_steps.push(fwd.total_steps);
         let _ = writeln!(
             table,
-            "{:>12} | {:>10} | {:>9} | {:>6.1}ms | {:>12} | {:>8.1}ms",
+            "{:>12} | {:>10} | {:>9} | {:>14} | {:>6.1}ms | {:>12} | {:>14} | {:>8.1}ms",
             prefix,
             exec_len,
             result.stats.nodes_expanded,
+            format!(
+                "{}/{}",
+                result.stats.solver.cache_hits, result.stats.solver.cache_misses
+            ),
             res_time.as_secs_f64() * 1000.0,
             fwd.total_steps,
+            format!(
+                "{}/{}",
+                fwd.stats.solver.cache_hits, fwd.stats.solver.cache_misses
+            ),
             fwd_time.as_secs_f64() * 1000.0
         );
     }
     // Shape: forward cost grows by orders of magnitude; RES stays flat
     // (within 20× across a 1000× length increase, vs >100× for fwd).
     let res_ratio = res_times.last().unwrap() / res_times.first().unwrap().max(1e-9);
-    let fwd_ratio = *fwd_steps.last().unwrap() as f64 / (*fwd_steps.first().unwrap() as f64).max(1.0);
+    let fwd_ratio =
+        *fwd_steps.last().unwrap() as f64 / (*fwd_steps.first().unwrap() as f64).max(1.0);
     let shape = fwd_ratio > 100.0 && res_ratio < 20.0;
     let _ = writeln!(
         table,
@@ -363,7 +372,11 @@ pub fn e6_exploitability() -> Experiment {
 /// E7 — hardware-error identification.
 pub fn e7_hardware() -> Experiment {
     let corpus = generate_corpus(&CorpusSpec {
-        kinds: vec![BugKind::DivByZero, BugKind::SemanticAssert, BugKind::UseAfterFree],
+        kinds: vec![
+            BugKind::DivByZero,
+            BugKind::SemanticAssert,
+            BugKind::UseAfterFree,
+        ],
         per_kind: 4,
         ..CorpusSpec::default()
     });
@@ -381,7 +394,8 @@ pub fn e7_hardware() -> Experiment {
     let shape = study.false_positives == 0 && study.recall() > 0.5;
     Experiment {
         id: "E7",
-        claim: "dump/execution inconsistencies identify hardware errors; no software bug is misflagged",
+        claim:
+            "dump/execution inconsistencies identify hardware errors; no software bug is misflagged",
         table,
         shape_holds: shape,
     }
@@ -440,7 +454,11 @@ pub fn e9_suffix_budget() -> Experiment {
             let _ = writeln!(
                 filler,
                 "f{i}:\n  load r3, [r1]\n  add r3, r3, 1\n  store r3, [r1]\n  jmp {}",
-                if i + 1 == dist { "crash".to_string() } else { format!("f{}", i + 1) }
+                if i + 1 == dist {
+                    "crash".to_string()
+                } else {
+                    format!("f{}", i + 1)
+                }
             );
         }
         let first = if dist == 0 { "crash" } else { "f0" };
@@ -527,7 +545,10 @@ pub fn e10_hard_constructs() -> Experiment {
     );
     let hash_fn = p.func_by_name("hash").unwrap();
     let mut crossed = Vec::new();
-    for (name, budget) in [("reverse-only (tiny budget)", 8u64), ("re-execution (§6)", 4096)] {
+    for (name, budget) in [
+        ("reverse-only (tiny budget)", 8u64),
+        ("re-execution (§6)", 4096),
+    ] {
         let engine = ResEngine::new(
             &p,
             ResConfig {
@@ -537,10 +558,11 @@ pub fn e10_hard_constructs() -> Experiment {
             },
         );
         let result = engine.synthesize(&d);
-        let did = result
-            .suffixes
-            .iter()
-            .any(|s| s.steps.iter().any(|st| st.transfers.iter().any(|t| t.to.func == hash_fn)));
+        let did = result.suffixes.iter().any(|s| {
+            s.steps
+                .iter()
+                .any(|st| st.transfers.iter().any(|t| t.to.func == hash_fn))
+        });
         crossed.push(did);
         let _ = writeln!(
             table,
@@ -686,8 +708,8 @@ pub fn a2_dump_vs_minidump() -> Experiment {
 pub fn a3_solver_budget() -> Experiment {
     let (p, d) = fail_dump(BugKind::HeapOverflowTainted, WorkloadParams::default());
     let mut table = String::from(
-        "solver budget (assignments) | verdict      | unknowns kept | time\n\
-         ----------------------------+--------------+---------------+------\n",
+        "solver budget (assignments) | verdict      | unknowns kept (budget/incomplete) | cache h/m | time\n\
+         ----------------------------+--------------+-----------------------------------+-----------+------\n",
     );
     let mut found = Vec::new();
     for budget in [20u64, 500, 20_000] {
@@ -711,10 +733,19 @@ pub fn a3_solver_budget() -> Experiment {
         found.push(matches!(result.verdict, Verdict::SuffixFound));
         let _ = writeln!(
             table,
-            "{:>27} | {:<12} | {:>13} | {:.0}ms",
+            "{:>27} | {:<12} | {:>33} | {:>9} | {:.0}ms",
             budget,
             verdict,
-            result.stats.unknown_accepted,
+            format!(
+                "{} ({}/{})",
+                result.stats.unknown_accepted,
+                result.stats.unknown_accepted_budget,
+                result.stats.unknown_accepted_incomplete
+            ),
+            format!(
+                "{}/{}",
+                result.stats.solver.cache_hits, result.stats.solver.cache_misses
+            ),
             t0.elapsed().as_secs_f64() * 1000.0
         );
     }

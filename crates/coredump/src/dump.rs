@@ -78,11 +78,7 @@ impl Coredump {
             .max()
             .unwrap_or(mvm_isa::layout::GLOBAL_BASE);
         Coredump {
-            program_name: machine
-                .program()
-                .func(machine.program().entry)
-                .name
-                .clone(),
+            program_name: machine.program().func(machine.program().entry).name.clone(),
             memory: machine.memory().clone(),
             threads: machine.threads().values().cloned().collect(),
             fault,
@@ -119,7 +115,11 @@ impl Coredump {
     /// The faulting thread's call stack, outermost first, as code
     /// locations.
     pub fn call_stack(&self) -> Vec<Loc> {
-        self.faulting_thread().frames.iter().map(|f| f.loc()).collect()
+        self.faulting_thread()
+            .frames
+            .iter()
+            .map(|f| f.loc())
+            .collect()
     }
 
     /// The WER-style stack signature: the top `depth` frames of the
@@ -189,9 +189,7 @@ mod tests {
 
     #[test]
     fn capture_records_fault_and_pc() {
-        let d = crash_dump(
-            "func main() {\nentry:\n  mov r0, 0\n  divu r1, 1, r0\n  halt\n}",
-        );
+        let d = crash_dump("func main() {\nentry:\n  mov r0, 0\n  divu r1, 1, r0\n  halt\n}");
         assert_eq!(d.fault, Fault::DivByZero);
         assert_eq!(d.faulting_tid, 0);
         assert_eq!(d.fault_pc().inst, 1);
@@ -249,9 +247,8 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let d = crash_dump(
-            "global g 8 = 3\nfunc main() {\nentry:\n  assert 0, \"boom\"\n  halt\n}",
-        );
+        let d =
+            crash_dump("global g 8 = 3\nfunc main() {\nentry:\n  assert 0, \"boom\"\n  halt\n}");
         let s = mvm_json::to_string(&d);
         let back: Coredump = mvm_json::from_str(&s).unwrap();
         assert_eq!(d, back);
@@ -269,9 +266,7 @@ mod tests {
 
     #[test]
     fn size_estimate_counts_pages() {
-        let d = crash_dump(
-            "global g 8 = 1\nfunc main() {\nentry:\n  assert 0, \"x\"\n  halt\n}",
-        );
+        let d = crash_dump("global g 8 = 1\nfunc main() {\nentry:\n  assert 0, \"x\"\n  halt\n}");
         assert!(d.size_bytes() >= 4096);
     }
 }

@@ -171,7 +171,13 @@ mod tests {
         let mut d = dump();
         let orig = d.clone();
         let r = flip_memory_bit(&mut d, 1234).unwrap();
-        let InjectionReport::MemoryBitFlip { addr, before, after, .. } = r else {
+        let InjectionReport::MemoryBitFlip {
+            addr,
+            before,
+            after,
+            ..
+        } = r
+        else {
             panic!("wrong report kind")
         };
         assert_eq!((before ^ after).count_ones(), 1);
@@ -204,7 +210,14 @@ mod tests {
     fn register_corruption_changes_value() {
         let mut d = dump();
         let r = corrupt_register(&mut d, 99);
-        let InjectionReport::RegisterCorrupt { tid, frame, reg, before, after } = r else {
+        let InjectionReport::RegisterCorrupt {
+            tid,
+            frame,
+            reg,
+            before,
+            after,
+        } = r
+        else {
             panic!("wrong report kind")
         };
         assert_ne!(before, after);

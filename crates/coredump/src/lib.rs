@@ -24,5 +24,7 @@ pub mod minidump;
 
 pub use diff::{diff_dumps, DumpDiff};
 pub use dump::{Coredump, StackSignature};
-pub use inject::{corrupt_register, corrupt_register_at, flip_memory_bit, flip_memory_bit_at, InjectionReport};
+pub use inject::{
+    corrupt_register, corrupt_register_at, flip_memory_bit, flip_memory_bit_at, InjectionReport,
+};
 pub use minidump::Minidump;

@@ -29,7 +29,12 @@ pub struct Minidump {
     pub frames: Vec<Frame>,
 }
 
-json_struct!(Minidump { program_name, fault, faulting_tid, frames });
+json_struct!(Minidump {
+    program_name,
+    fault,
+    faulting_tid,
+    frames
+});
 
 impl Minidump {
     /// Extracts the minidump subset of a full coredump.

@@ -116,7 +116,11 @@ struct PendingBlock {
 
 enum PendingInst {
     Ready(Inst),
-    AddrOf { dst: Reg, global: String, line: usize },
+    AddrOf {
+        dst: Reg,
+        global: String,
+        line: usize,
+    },
     Spawn {
         dst: Reg,
         func: String,
@@ -214,16 +218,16 @@ impl<'a> Parser<'a> {
                 .map(|(i, b)| (b.label.clone(), BlockId(i as u32)))
                 .collect();
             if labels.len() != pf.blocks.len() {
-                return err(pf.line, format!("duplicate label in function {:?}", pf.name));
+                return err(
+                    pf.line,
+                    format!("duplicate label in function {:?}", pf.name),
+                );
             }
             let lookup_label = |l: &str, line: usize| -> Result<BlockId, AsmError> {
-                labels
-                    .get(l)
-                    .copied()
-                    .ok_or_else(|| AsmError {
-                        line,
-                        msg: format!("unknown label {l:?}"),
-                    })
+                labels.get(l).copied().ok_or_else(|| AsmError {
+                    line,
+                    msg: format!("unknown label {l:?}"),
+                })
             };
             let lookup_func = |f: &str, line: usize| -> Result<FuncId, AsmError> {
                 func_ids.get(f).copied().ok_or_else(|| AsmError {
@@ -244,7 +248,12 @@ impl<'a> Parser<'a> {
                             })?;
                             Inst::AddrOf { dst, global: gid }
                         }
-                        PendingInst::Spawn { dst, func, arg, line } => Inst::Spawn {
+                        PendingInst::Spawn {
+                            dst,
+                            func,
+                            arg,
+                            line,
+                        } => Inst::Spawn {
                             dst,
                             func: lookup_func(&func, line)?,
                             arg,
@@ -259,12 +268,21 @@ impl<'a> Parser<'a> {
                 };
                 let terminator = match pt.term {
                     TermTemplate::Jump(l) => Terminator::Jump(lookup_label(&l, pt.line)?),
-                    TermTemplate::Branch { cond, then_l, else_l } => Terminator::Branch {
+                    TermTemplate::Branch {
+                        cond,
+                        then_l,
+                        else_l,
+                    } => Terminator::Branch {
                         cond,
                         then_b: lookup_label(&then_l, pt.line)?,
                         else_b: lookup_label(&else_l, pt.line)?,
                     },
-                    TermTemplate::Call { func, args, ret, cont } => Terminator::Call {
+                    TermTemplate::Call {
+                        func,
+                        args,
+                        ret,
+                        cont,
+                    } => Terminator::Call {
                         func: lookup_func(&func, pt.line)?,
                         args,
                         ret,
@@ -359,12 +377,10 @@ fn parse_signature(line: usize, sig: &str) -> Result<(String, usize), AsmError> 
     let arity = if inner.is_empty() {
         0
     } else {
-        inner
-            .parse::<usize>()
-            .map_err(|_| AsmError {
-                line,
-                msg: format!("bad arity {inner:?}"),
-            })?
+        inner.parse::<usize>().map_err(|_| AsmError {
+            line,
+            msg: format!("bad arity {inner:?}"),
+        })?
     };
     Ok((name.to_string(), arity))
 }
@@ -410,7 +426,9 @@ fn parse_global(line: usize, rest: &str) -> Result<(String, u64, Vec<u8>), AsmEr
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -442,12 +460,10 @@ fn parse_operand(line: usize, s: &str) -> Result<Operand, AsmError> {
     if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 {
         return Ok(Operand::Reg(parse_reg(line, s)?));
     }
-    parse_u64(s)
-        .map(Operand::Imm)
-        .ok_or_else(|| AsmError {
-            line,
-            msg: format!("expected operand, found {s:?}"),
-        })
+    parse_u64(s).map(Operand::Imm).ok_or_else(|| AsmError {
+        line,
+        msg: format!("expected operand, found {s:?}"),
+    })
 }
 
 /// Parses `[rN]`, `[rN+K]`, or `[rN-K]`.
@@ -477,7 +493,10 @@ fn parse_mem(line: usize, s: &str) -> Result<(Operand, i64), AsmError> {
 }
 
 fn split_args(s: &str) -> Vec<&str> {
-    s.split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
 fn binop_of(m: &str) -> Option<BinOp> {
@@ -631,7 +650,11 @@ fn parse_stmt(line: usize, text: &str, block: &mut PendingBlock) -> Result<(), A
             return err(line, format!("{mnemonic} needs `dst, src`"));
         }
         PendingInst::Ready(Inst::Un {
-            op: if mnemonic == "not" { UnOp::Not } else { UnOp::Neg },
+            op: if mnemonic == "not" {
+                UnOp::Not
+            } else {
+                UnOp::Neg
+            },
             dst: parse_reg(line, a[0])?,
             src: parse_operand(line, a[1])?,
         })
@@ -798,7 +821,13 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(b.insts[6], Inst::Load { width: Width::W2, .. }));
+        assert!(matches!(
+            b.insts[6],
+            Inst::Load {
+                width: Width::W2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -830,7 +859,10 @@ mod tests {
         assert_eq!(main.blocks.len(), 4);
         assert!(matches!(
             main.blocks[0].terminator,
-            Terminator::Call { ret: Some(Reg(1)), .. }
+            Terminator::Call {
+                ret: Some(Reg(1)),
+                ..
+            }
         ));
     }
 

@@ -223,7 +223,10 @@ impl FunctionBuilder {
 
     /// `dst = src`.
     pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) {
-        self.push(Inst::Mov { dst, src: src.into() });
+        self.push(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// `dst = op(lhs, rhs)`.

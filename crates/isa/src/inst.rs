@@ -499,7 +499,11 @@ impl Inst {
     pub fn writes_memory(&self) -> bool {
         matches!(
             self,
-            Inst::Store { .. } | Inst::Alloc { .. } | Inst::Free { .. } | Inst::Lock { .. } | Inst::Unlock { .. }
+            Inst::Store { .. }
+                | Inst::Alloc { .. }
+                | Inst::Free { .. }
+                | Inst::Lock { .. }
+                | Inst::Unlock { .. }
         )
     }
 
@@ -583,11 +587,32 @@ json_newtype!(Reg);
 json_enum!(Operand { Reg(Reg), Imm(u64) });
 json_enum!(Width { W1, W2, W4, W8 });
 json_enum!(BinOp {
-    Add, Sub, Mul, DivU, RemU, And, Or, Xor, Shl, Shr, Sar,
-    Eq, Ne, LtU, LeU, LtS, LeS,
+    Add,
+    Sub,
+    Mul,
+    DivU,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    Eq,
+    Ne,
+    LtU,
+    LeU,
+    LtS,
+    LeS,
 });
 json_enum!(UnOp { Not, Neg });
-json_enum!(InputKind { Network, File, Time, Random, Env });
+json_enum!(InputKind {
+    Network,
+    File,
+    Time,
+    Random,
+    Env
+});
 json_enum!(Channel { Out, Log });
 json_enum!(Inst {
     Mov { dst: Reg, src: Operand },

@@ -80,10 +80,7 @@ mod tests {
         assert_eq!(region_of(HEAP_BASE), Region::Heap);
         assert_eq!(region_of(HEAP_END - 1), Region::Heap);
         assert_eq!(region_of(STACK_BASE), Region::Stack { tid: 0 });
-        assert_eq!(
-            region_of(STACK_BASE + STACK_SIZE),
-            Region::Stack { tid: 1 }
-        );
+        assert_eq!(region_of(STACK_BASE + STACK_SIZE), Region::Stack { tid: 1 });
         assert_eq!(region_of(0), Region::Unmapped);
         assert_eq!(region_of(u64::MAX), Region::Unmapped);
     }

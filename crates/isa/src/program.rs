@@ -36,7 +36,11 @@ pub struct Loc {
 impl Loc {
     /// A location at the start of the given block.
     pub fn block_start(func: FuncId, block: BlockId) -> Self {
-        Loc { func, block, inst: 0 }
+        Loc {
+            func,
+            block,
+            inst: 0,
+        }
     }
 }
 
@@ -229,10 +233,27 @@ json_newtype!(FuncId);
 json_newtype!(BlockId);
 json_newtype!(GlobalId);
 json_struct!(Loc { func, block, inst });
-json_struct!(BasicBlock { label, insts, terminator });
-json_struct!(Function { name, arity, blocks });
-json_struct!(Global { name, size, addr, init });
-json_struct!(Program { funcs, globals, entry });
+json_struct!(BasicBlock {
+    label,
+    insts,
+    terminator
+});
+json_struct!(Function {
+    name,
+    arity,
+    blocks
+});
+json_struct!(Global {
+    name,
+    size,
+    addr,
+    init
+});
+json_struct!(Program {
+    funcs,
+    globals,
+    entry
+});
 
 #[cfg(test)]
 mod tests {

@@ -83,7 +83,11 @@ impl std::fmt::Display for ValidateError {
             ValidateError::EmptyFunction { func } => {
                 write!(f, "function f{} has no blocks", func.0)
             }
-            ValidateError::DanglingBlock { func, block, target } => write!(
+            ValidateError::DanglingBlock {
+                func,
+                block,
+                target,
+            } => write!(
                 f,
                 "f{}:b{} references missing block b{}",
                 func.0, block.0, target.0
@@ -103,7 +107,11 @@ impl std::fmt::Display for ValidateError {
                 func.0, block.0, callee.0
             ),
             ValidateError::BadRegister { func, block, reg } => {
-                write!(f, "f{}:b{} uses out-of-range register {reg}", func.0, block.0)
+                write!(
+                    f,
+                    "f{}:b{} uses out-of-range register {reg}",
+                    func.0, block.0
+                )
             }
             ValidateError::DanglingGlobal { func, block } => {
                 write!(f, "f{}:b{} references a missing global", func.0, block.0)
@@ -123,7 +131,11 @@ fn check_reg(r: Reg, func: FuncId, block: BlockId) -> Result<(), ValidateError> 
     if r.index() < Reg::COUNT {
         Ok(())
     } else {
-        Err(ValidateError::BadRegister { func, block, reg: r })
+        Err(ValidateError::BadRegister {
+            func,
+            block,
+            reg: r,
+        })
     }
 }
 
@@ -161,12 +173,18 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                 match inst {
                     Inst::AddrOf { global, .. } => {
                         if global.0 as usize >= program.globals.len() {
-                            return Err(ValidateError::DanglingGlobal { func: fid, block: bid });
+                            return Err(ValidateError::DanglingGlobal {
+                                func: fid,
+                                block: bid,
+                            });
                         }
                     }
                     Inst::Spawn { func: callee, .. } => {
                         let Some(cf) = program.funcs.get(callee.0 as usize) else {
-                            return Err(ValidateError::DanglingFunc { func: fid, block: bid });
+                            return Err(ValidateError::DanglingFunc {
+                                func: fid,
+                                block: bid,
+                            });
                         };
                         if cf.arity != 1 {
                             return Err(ValidateError::SpawnArity {
@@ -191,9 +209,18 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                     });
                 }
             }
-            if let Terminator::Call { func: callee, args, ret, .. } = term {
+            if let Terminator::Call {
+                func: callee,
+                args,
+                ret,
+                ..
+            } = term
+            {
                 let Some(cf) = program.funcs.get(callee.0 as usize) else {
-                    return Err(ValidateError::DanglingFunc { func: fid, block: bid });
+                    return Err(ValidateError::DanglingFunc {
+                        func: fid,
+                        block: bid,
+                    });
                 };
                 if cf.arity != args.len() {
                     return Err(ValidateError::ArityMismatch {
@@ -319,7 +346,11 @@ mod tests {
         });
         assert!(matches!(
             validate(&p),
-            Err(ValidateError::ArityMismatch { expected: 2, got: 0, .. })
+            Err(ValidateError::ArityMismatch {
+                expected: 2,
+                got: 0,
+                ..
+            })
         ));
     }
 
@@ -354,6 +385,9 @@ mod tests {
                 terminator: Terminator::Halt,
             }],
         });
-        assert!(matches!(validate(&p), Err(ValidateError::SpawnArity { .. })));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::SpawnArity { .. })
+        ));
     }
 }

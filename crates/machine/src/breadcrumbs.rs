@@ -110,9 +110,23 @@ pub struct LogRecord {
 
 // Invoked here (not in a central serde module) because LbrRing's fields
 // are private; the macro expands to impls that read them directly.
-json_struct!(LbrEntry { tid, from, to, inferrable });
-json_struct!(LbrRing { capacity, entries, filter_inferrable });
-json_struct!(LogRecord { tid, at, value, step });
+json_struct!(LbrEntry {
+    tid,
+    from,
+    to,
+    inferrable
+});
+json_struct!(LbrRing {
+    capacity,
+    entries,
+    filter_inferrable
+});
+json_struct!(LogRecord {
+    tid,
+    at,
+    value,
+    step
+});
 
 #[cfg(test)]
 mod tests {

@@ -43,7 +43,10 @@ impl InputSource {
         match self {
             InputSource::Fixed(v) => *v,
             InputSource::Seeded { seed } => mvm_prng::XorShift64Star::step(seed),
-            InputSource::Scripted { per_thread, fallback } => per_thread
+            InputSource::Scripted {
+                per_thread,
+                fallback,
+            } => per_thread
                 .get_mut(&tid)
                 .and_then(VecDeque::pop_front)
                 .unwrap_or(*fallback),
@@ -404,23 +407,44 @@ impl Machine {
         match inst {
             Inst::Mov { dst, src } => {
                 let v = self.eval(tid, *src);
-                self.threads.get_mut(&tid).unwrap().top_mut().set_reg(*dst, v);
+                self.threads
+                    .get_mut(&tid)
+                    .unwrap()
+                    .top_mut()
+                    .set_reg(*dst, v);
             }
             Inst::Bin { op, dst, lhs, rhs } => {
                 let a = self.eval(tid, *lhs);
                 let b = self.eval(tid, *rhs);
                 let v = op.eval(a, b).ok_or(Fault::DivByZero)?;
-                self.threads.get_mut(&tid).unwrap().top_mut().set_reg(*dst, v);
+                self.threads
+                    .get_mut(&tid)
+                    .unwrap()
+                    .top_mut()
+                    .set_reg(*dst, v);
             }
             Inst::Un { op, dst, src } => {
                 let v = op.eval(self.eval(tid, *src));
-                self.threads.get_mut(&tid).unwrap().top_mut().set_reg(*dst, v);
+                self.threads
+                    .get_mut(&tid)
+                    .unwrap()
+                    .top_mut()
+                    .set_reg(*dst, v);
             }
-            Inst::Load { dst, addr, offset, width } => {
+            Inst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => {
                 let base = self.eval(tid, *addr).wrapping_add(*offset as u64);
                 self.check_access(base, width.bytes(), AccessKind::Read)?;
                 let v = self.memory.read(base, *width);
-                self.threads.get_mut(&tid).unwrap().top_mut().set_reg(*dst, v);
+                self.threads
+                    .get_mut(&tid)
+                    .unwrap()
+                    .top_mut()
+                    .set_reg(*dst, v);
                 self.tracer.fine(TraceEvent::Mem {
                     tid,
                     loc,
@@ -430,7 +454,12 @@ impl Machine {
                     width: *width,
                 });
             }
-            Inst::Store { src, addr, offset, width } => {
+            Inst::Store {
+                src,
+                addr,
+                offset,
+                width,
+            } => {
                 let base = self.eval(tid, *addr).wrapping_add(*offset as u64);
                 self.check_access(base, width.bytes(), AccessKind::Write)?;
                 let v = self.eval(tid, *src);
@@ -446,7 +475,11 @@ impl Machine {
             }
             Inst::AddrOf { dst, global } => {
                 let a = self.program.global(*global).addr;
-                self.threads.get_mut(&tid).unwrap().top_mut().set_reg(*dst, a);
+                self.threads
+                    .get_mut(&tid)
+                    .unwrap()
+                    .top_mut()
+                    .set_reg(*dst, a);
             }
             Inst::Input { dst, kind: _ } => {
                 let v = self.input.next(tid);
@@ -486,7 +519,11 @@ impl Machine {
                     base,
                     size: sz,
                 });
-                self.threads.get_mut(&tid).unwrap().top_mut().set_reg(*dst, base);
+                self.threads
+                    .get_mut(&tid)
+                    .unwrap()
+                    .top_mut()
+                    .set_reg(*dst, base);
             }
             Inst::Free { addr } => {
                 let a = self.eval(tid, *addr);
@@ -511,8 +548,7 @@ impl Machine {
                 } else {
                     // Contended (including self-deadlock): block and
                     // retry this same instruction when woken.
-                    self.threads.get_mut(&tid).unwrap().status =
-                        ThreadStatus::BlockedOnLock(mutex);
+                    self.threads.get_mut(&tid).unwrap().status = ThreadStatus::BlockedOnLock(mutex);
                     advance = false;
                     runnable = false;
                 }
@@ -545,7 +581,11 @@ impl Machine {
                 let t = ThreadState::spawned(new_tid, *func, a);
                 self.tracer.block_enter(new_tid, t.pc(), self.steps);
                 self.threads.insert(new_tid, t);
-                self.threads.get_mut(&tid).unwrap().top_mut().set_reg(*dst, new_tid);
+                self.threads
+                    .get_mut(&tid)
+                    .unwrap()
+                    .top_mut()
+                    .set_reg(*dst, new_tid);
             }
             Inst::Join { tid: target_op } => {
                 let target = self.eval(tid, *target_op);
@@ -557,7 +597,8 @@ impl Machine {
                     .get(&target)
                     .is_none_or(|t| t.status == ThreadStatus::Halted);
                 if !halted {
-                    self.threads.get_mut(&tid).unwrap().status = ThreadStatus::BlockedOnJoin(target);
+                    self.threads.get_mut(&tid).unwrap().status =
+                        ThreadStatus::BlockedOnJoin(target);
                     advance = false;
                     runnable = false;
                 }
@@ -575,18 +616,36 @@ impl Machine {
         Ok(runnable)
     }
 
-    fn exec_terminator(&mut self, tid: ThreadId, loc: Loc, term: &Terminator) -> Result<bool, Fault> {
+    fn exec_terminator(
+        &mut self,
+        tid: ThreadId,
+        loc: Loc,
+        term: &Terminator,
+    ) -> Result<bool, Fault> {
         match term {
             Terminator::Jump(target) => {
                 self.goto(tid, loc, *target, true);
                 Ok(true)
             }
-            Terminator::Branch { cond, then_b, else_b } => {
-                let taken = if self.eval(tid, *cond) != 0 { *then_b } else { *else_b };
+            Terminator::Branch {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let taken = if self.eval(tid, *cond) != 0 {
+                    *then_b
+                } else {
+                    *else_b
+                };
                 self.goto(tid, loc, taken, false);
                 Ok(true)
             }
-            Terminator::Call { func, args, ret, cont } => {
+            Terminator::Call {
+                func,
+                args,
+                ret,
+                cont,
+            } => {
                 let arg_vals: Vec<u64> = args.iter().map(|a| self.eval(tid, *a)).collect();
                 let sp = self.thread(tid).top().reg(Reg(31));
                 {
@@ -686,9 +745,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_halt() {
-        let (m, o) = run_src(
-            "func main() {\nentry:\n  mov r0, 6\n  mul r1, r0, 7\n  halt\n}",
-        );
+        let (m, o) = run_src("func main() {\nentry:\n  mov r0, 6\n  mul r1, r0, 7\n  halt\n}");
         assert!(matches!(o, Outcome::Halted { .. }));
         assert_eq!(m.threads()[&0].top().reg(Reg(1)), 42);
     }
@@ -706,9 +763,7 @@ mod tests {
 
     #[test]
     fn div_by_zero_faults_at_pc() {
-        let (m, o) = run_src(
-            "func main() {\nentry:\n  mov r0, 0\n  divu r1, 5, r0\n  halt\n}",
-        );
+        let (m, o) = run_src("func main() {\nentry:\n  mov r0, 0\n  divu r1, 5, r0\n  halt\n}");
         let Outcome::Faulted { fault, tid, .. } = o else {
             panic!("expected fault")
         };
@@ -720,9 +775,7 @@ mod tests {
 
     #[test]
     fn invalid_access_faults() {
-        let (_, o) = run_src(
-            "func main() {\nentry:\n  mov r0, 64\n  load r1, [r0]\n  halt\n}",
-        );
+        let (_, o) = run_src("func main() {\nentry:\n  mov r0, 64\n  load r1, [r0]\n  halt\n}");
         assert!(matches!(
             o.fault(),
             Some(Fault::InvalidAccess {
@@ -734,9 +787,7 @@ mod tests {
 
     #[test]
     fn assert_failure_reports_message() {
-        let (_, o) = run_src(
-            "func main() {\nentry:\n  assert 0, \"invariant broken\"\n  halt\n}",
-        );
+        let (_, o) = run_src("func main() {\nentry:\n  assert 0, \"invariant broken\"\n  halt\n}");
         assert!(matches!(
             o.fault(),
             Some(Fault::AssertFailed { msg }) if msg == "invariant broken"
@@ -754,25 +805,22 @@ mod tests {
 
     #[test]
     fn heap_overflow_faults() {
-        let (_, o) = run_src(
-            "func main() {\nentry:\n  alloc r0, 16\n  store 1, [r0+16]\n  halt\n}",
-        );
+        let (_, o) =
+            run_src("func main() {\nentry:\n  alloc r0, 16\n  store 1, [r0+16]\n  halt\n}");
         assert!(matches!(o.fault(), Some(Fault::HeapOverflow { .. })));
     }
 
     #[test]
     fn use_after_free_faults() {
-        let (_, o) = run_src(
-            "func main() {\nentry:\n  alloc r0, 16\n  free r0\n  load r1, [r0]\n  halt\n}",
-        );
+        let (_, o) =
+            run_src("func main() {\nentry:\n  alloc r0, 16\n  free r0\n  load r1, [r0]\n  halt\n}");
         assert!(matches!(o.fault(), Some(Fault::UseAfterFree { .. })));
     }
 
     #[test]
     fn double_free_faults() {
-        let (_, o) = run_src(
-            "func main() {\nentry:\n  alloc r0, 16\n  free r0\n  free r0\n  halt\n}",
-        );
+        let (_, o) =
+            run_src("func main() {\nentry:\n  alloc r0, 16\n  free r0\n  free r0\n  halt\n}");
         assert!(matches!(o.fault(), Some(Fault::DoubleFree { .. })));
     }
 
@@ -960,9 +1008,8 @@ mod tests {
 
     #[test]
     fn unlock_not_owned_faults() {
-        let (_, o) = run_src(
-            "global m 8\nfunc main() {\nentry:\n  addr r0, m\n  unlock r0\n  halt\n}",
-        );
+        let (_, o) =
+            run_src("global m 8\nfunc main() {\nentry:\n  addr r0, m\n  unlock r0\n  halt\n}");
         assert!(matches!(o.fault(), Some(Fault::UnlockNotOwned { .. })));
     }
 
@@ -1051,7 +1098,11 @@ mod tests {
             );
             let o = m.run();
             let g = m.program().global_by_name("c").unwrap();
-            (format!("{o:?}"), m.memory().read(m.program().global(g).addr, Width::W8), m.steps())
+            (
+                format!("{o:?}"),
+                m.memory().read(m.program().global(g).addr, Width::W8),
+                m.steps(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -1071,23 +1122,22 @@ mod tests {
 
     #[test]
     fn step_thread_drives_specific_thread() {
-        let p = assemble(
-            "func main() {\nentry:\n  mov r0, 1\n  mov r1, 2\n  halt\n}",
-        )
-        .unwrap();
+        let p = assemble("func main() {\nentry:\n  mov r0, 1\n  mov r1, 2\n  halt\n}").unwrap();
         let mut m = Machine::new(p, MachineConfig::default());
         assert!(m.step_thread(0).unwrap());
         assert_eq!(m.threads()[&0].top().reg(Reg(0)), 1);
         assert_eq!(m.threads()[&0].top().reg(Reg(1)), 0);
         assert!(m.step_thread(0).unwrap());
-        assert!(!m.step_thread(0).unwrap(), "halt leaves thread not runnable");
+        assert!(
+            !m.step_thread(0).unwrap(),
+            "halt leaves thread not runnable"
+        );
     }
 
     #[test]
     fn lock_state_mirrored_in_memory() {
-        let (m, o) = run_src(
-            "global m 8\nfunc main() {\nentry:\n  addr r0, m\n  lock r0\n  halt\n}",
-        );
+        let (m, o) =
+            run_src("global m 8\nfunc main() {\nentry:\n  addr r0, m\n  lock r0\n  halt\n}");
         assert!(matches!(o, Outcome::Halted { .. }));
         let g = m.program().global_by_name("m").unwrap();
         // Owner tid 0 is encoded as 1.
@@ -1096,10 +1146,7 @@ mod tests {
 
     #[test]
     fn block_trace_schedule_captured() {
-        let p = assemble(
-            "func main() {\nentry:\n  jmp a\na:\n  jmp b\nb:\n  halt\n}",
-        )
-        .unwrap();
+        let p = assemble("func main() {\nentry:\n  jmp a\na:\n  jmp b\nb:\n  halt\n}").unwrap();
         let mut m = Machine::new(
             p,
             MachineConfig {

@@ -168,7 +168,11 @@ impl std::fmt::Display for Fault {
             Fault::InvalidAccess { addr, kind } => {
                 write!(f, "invalid {kind:?} at {addr:#x}")
             }
-            Fault::HeapOverflow { addr, near_base, kind } => match near_base {
+            Fault::HeapOverflow {
+                addr,
+                near_base,
+                kind,
+            } => match near_base {
                 Some(b) => write!(f, "heap overflow {kind:?} at {addr:#x} (near block {b:#x})"),
                 None => write!(f, "heap overflow {kind:?} at {addr:#x}"),
             },
@@ -239,7 +243,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let s = Fault::AssertFailed { msg: "x > 0".into() }.to_string();
+        let s = Fault::AssertFailed {
+            msg: "x > 0".into(),
+        }
+        .to_string();
         assert!(s.contains("x > 0"));
     }
 }

@@ -307,13 +307,18 @@ mod tests {
         let mut h = Heap::new();
         let a = h.alloc(16).unwrap();
         assert!(matches!(h.free(a + 4), Err(Fault::InvalidFree { .. })));
-        assert!(matches!(h.free(0x2345_0000), Err(Fault::InvalidFree { .. })));
+        assert!(matches!(
+            h.free(0x2345_0000),
+            Err(Fault::InvalidFree { .. })
+        ));
     }
 
     #[test]
     fn never_allocated_heap_access_faults() {
         let h = Heap::new();
-        assert!(h.check_access(layout::HEAP_BASE + 100, 8, AccessKind::Read).is_err());
+        assert!(h
+            .check_access(layout::HEAP_BASE + 100, 8, AccessKind::Read)
+            .is_err());
     }
 
     #[test]
@@ -363,11 +368,7 @@ mod install_tests {
         let c = h1.alloc(8).unwrap();
         // Rebuild a heap holding only the first two allocations; the
         // third must land at the same address when re-executed.
-        let metas: Vec<AllocMeta> = h1
-            .iter_allocs()
-            .filter(|m| m.base != c)
-            .copied()
-            .collect();
+        let metas: Vec<AllocMeta> = h1.iter_allocs().filter(|m| m.base != c).copied().collect();
         let mut h2 = Heap::new();
         h2.install(metas);
         assert_eq!(h2.alloc(8).unwrap(), c);

@@ -138,7 +138,12 @@ impl Memory {
     /// results.
     pub fn diff(&self, other: &Memory, limit: usize) -> Vec<u64> {
         let mut out = Vec::new();
-        let mut bases: Vec<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        let mut bases: Vec<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
         bases.sort_unstable();
         bases.dedup();
         for base in bases {

@@ -99,7 +99,9 @@ impl Scheduler {
                     pick_next_after(self.current, runnable)
                 }
             }
-            SchedPolicy::Random { switch_per_mille, .. } => {
+            SchedPolicy::Random {
+                switch_per_mille, ..
+            } => {
                 let p = (*switch_per_mille).min(1000) as u64;
                 let stay = runnable.contains(&self.current) && self.next_rand() % 1000 >= p;
                 if stay {

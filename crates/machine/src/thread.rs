@@ -148,14 +148,25 @@ impl ThreadState {
     }
 }
 
-json_struct!(Frame { func, block, inst, regs, ret_reg });
+json_struct!(Frame {
+    func,
+    block,
+    inst,
+    regs,
+    ret_reg
+});
 json_enum!(ThreadStatus {
     Runnable,
     BlockedOnLock(u64),
     BlockedOnJoin(ThreadId),
     Halted,
 });
-json_struct!(ThreadState { tid, frames, status, inputs_consumed });
+json_struct!(ThreadState {
+    tid,
+    frames,
+    status,
+    inputs_consumed
+});
 
 #[cfg(test)]
 mod tests {

@@ -138,10 +138,7 @@ impl Xoshiro256StarStar {
 
     /// Next pseudo-random value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -229,9 +226,8 @@ mod tests {
         // the raw state goes even, per-draw |1 changes the next value.
         let mut raw = seed;
         let mut ord = seed;
-        let diverged = (0..64).any(|_| {
-            XorShift64Star::step_raw(&mut raw) != XorShift64Star::step(&mut ord)
-        });
+        let diverged =
+            (0..64).any(|_| XorShift64Star::step_raw(&mut raw) != XorShift64Star::step(&mut ord));
         assert!(diverged);
     }
 

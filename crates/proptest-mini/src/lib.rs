@@ -69,7 +69,10 @@ impl Config {
 
     /// The default configuration with a custom case count.
     pub fn with_cases(cases: u32) -> Self {
-        Config { cases, ..Config::new() }
+        Config {
+            cases,
+            ..Config::new()
+        }
     }
 }
 
@@ -164,7 +167,12 @@ pub fn any_u64() -> Gen<u64> {
 pub fn any_u8() -> Gen<u8> {
     Gen::new(
         |rng| rng.next_u64() as u8,
-        |&v| shrink_u64_toward(0, v as u64).into_iter().map(|v| v as u8).collect(),
+        |&v| {
+            shrink_u64_toward(0, v as u64)
+                .into_iter()
+                .map(|v| v as u8)
+                .collect()
+        },
     )
 }
 
@@ -454,7 +462,11 @@ mod tests {
         let result = catch_unwind(AssertUnwindSafe(|| {
             check(
                 "index_panic",
-                &Config { cases: 50, seed: 7, max_shrink_steps: 4096 },
+                &Config {
+                    cases: 50,
+                    seed: 7,
+                    max_shrink_steps: 4096,
+                },
                 &vec_of(any_u8(), 1, 32),
                 |v| {
                     // Panics (rather than returning Err) on long inputs.

@@ -36,8 +36,9 @@ use mvm_isa::{
     Width, //
 };
 use mvm_machine::{AllocMeta, AllocState, ThreadId};
-use mvm_symbolic::{Expr, ExprRef, Model, SolveResult, Solver, SymId};
+use mvm_symbolic::{Expr, ExprRef, Model, SolveResult, SolverSession, SymId};
 
+use crate::kernel::CutReason;
 use crate::snapshot::{MemRead, Snapshot};
 use crate::symctx::{SymCtx, SymOrigin};
 
@@ -51,9 +52,9 @@ pub enum Infeasible {
     Unsat,
     /// Mixed-width aliasing the cell model cannot express.
     MixedAliasing,
-    /// Per-hypothesis step budget exceeded (inconclusive, *not* a proof
-    /// of infeasibility).
-    Budget,
+    /// Per-hypothesis budget exceeded (inconclusive, *not* a proof of
+    /// infeasibility); carries the kernel's cut reason.
+    Budget(CutReason),
     /// The range contains a `spawn`, which the block-granular engine
     /// treats as a backward barrier.
     SpawnBarrier,
@@ -203,7 +204,7 @@ struct Attempt<'a, 'b> {
     spec: &'b HypSpec<'a>,
     snap: &'b Snapshot,
     ctx: &'b mut SymCtx,
-    solver: &'b Solver,
+    solver: &'b SolverSession,
     depth: usize,
     // Top-frame register discipline.
     regs: Vec<ExprRef>,
@@ -245,15 +246,20 @@ enum Abort {
 type StepResult<T> = Result<T, Abort>;
 
 fn path(expr: ExprRef) -> Tagged {
-    Tagged { expr, tag: Tag::Path }
+    Tagged {
+        expr,
+        tag: Tag::Path,
+    }
 }
 
-/// Runs a hypothesis, restarting as the havoc sets grow.
+/// Runs a hypothesis, restarting as the havoc sets grow. Solver queries
+/// go through the shared memoizing `SolverSession` — restarts re-ask
+/// many of the same questions, so the cache pays off immediately.
 pub fn run_hypothesis(
     spec: &HypSpec<'_>,
     snap: &Snapshot,
     ctx: &mut SymCtx,
-    solver: &Solver,
+    solver: &SolverSession,
     depth: usize,
 ) -> Result<HypOutcome, Infeasible> {
     let mut reg_havoc: Vec<Option<ExprRef>> = vec![None; Reg::COUNT];
@@ -308,7 +314,9 @@ pub fn run_hypothesis(
             },
         }
     }
-    Err(Infeasible::Budget)
+    // Restart quota exhausted: charged against the hypothesis's
+    // instruction budget, like the in-range step cap.
+    Err(Infeasible::Budget(CutReason::HypInstructions))
 }
 
 impl<'a, 'b> Attempt<'a, 'b> {
@@ -330,7 +338,9 @@ impl<'a, 'b> Attempt<'a, 'b> {
                 return self.finish();
             }
             if self.steps >= self.spec.max_steps {
-                return Err(Abort::Infeasible(Infeasible::Budget));
+                return Err(Abort::Infeasible(Infeasible::Budget(
+                    CutReason::HypInstructions,
+                )));
             }
             self.steps += 1;
             started = true;
@@ -355,7 +365,11 @@ impl<'a, 'b> Attempt<'a, 'b> {
                     block = t;
                     inst = 0;
                 }
-                Terminator::Branch { cond, then_b, else_b } => {
+                Terminator::Branch {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
                     let c = self.eval(cond);
                     let (target, constraint) = self.pick_branch(c, then_b, else_b)?;
                     if let Some(k) = constraint {
@@ -370,7 +384,12 @@ impl<'a, 'b> Attempt<'a, 'b> {
                     block = target;
                     inst = 0;
                 }
-                Terminator::Call { func: callee, args, ret, cont } => {
+                Terminator::Call {
+                    func: callee,
+                    args,
+                    ret,
+                    cont,
+                } => {
                     let entry = Loc::block_start(callee, mvm_isa::BlockId(0));
                     let arg_vals: Vec<ExprRef> = args.iter().map(|a| self.eval(*a)).collect();
                     // Does this call end the range (backward step past a
@@ -495,12 +514,14 @@ impl<'a, 'b> Attempt<'a, 'b> {
         let model = match self.solver.check(&all) {
             SolveResult::Sat(m) => m,
             SolveResult::Unsat => return Err(Abort::Infeasible(Infeasible::Unsat)),
-            SolveResult::Unknown => {
+            SolveResult::Unknown(_) => {
                 self.unknown_used = true;
                 Model::new()
             }
         };
-        let v = model.eval_total(e).ok_or(Abort::Infeasible(Infeasible::Unsat))?;
+        let v = model
+            .eval_total(e)
+            .ok_or(Abort::Infeasible(Infeasible::Unsat))?;
         self.constraints.push(Tagged {
             expr: Expr::bin(BinOp::Eq, e.clone(), Expr::konst(v)),
             tag: Tag::Pin,
@@ -603,8 +624,11 @@ impl<'a, 'b> Attempt<'a, 'b> {
                         }
                         Some(_) => {}
                         None => {
-                            self.constraints
-                                .push(path(Expr::bin(BinOp::Ne, b.clone(), Expr::konst(0))));
+                            self.constraints.push(path(Expr::bin(
+                                BinOp::Ne,
+                                b.clone(),
+                                Expr::konst(0),
+                            )));
                         }
                     }
                 }
@@ -615,14 +639,24 @@ impl<'a, 'b> Attempt<'a, 'b> {
                 let v = Expr::un(*op, self.eval(*src));
                 self.write_reg(*dst, v)?;
             }
-            Inst::Load { dst, addr, offset, width } => {
+            Inst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => {
                 let base = self.eval(*addr);
                 let ea = Expr::bin(BinOp::Add, base, Expr::konst(*offset as u64));
                 let a = self.concretize(&ea)?;
                 let v = self.read_mem(a, *width)?;
                 self.write_reg(*dst, v)?;
             }
-            Inst::Store { src, addr, offset, width } => {
+            Inst::Store {
+                src,
+                addr,
+                offset,
+                width,
+            } => {
                 let base = self.eval(*addr);
                 let ea = Expr::bin(BinOp::Add, base, Expr::konst(*offset as u64));
                 let a = self.concretize(&ea)?;
@@ -679,8 +713,11 @@ impl<'a, 'b> Attempt<'a, 'b> {
                         }
                     }
                     None => {
-                        self.constraints
-                            .push(path(Expr::bin(BinOp::Eq, sz, Expr::konst(meta.size))));
+                        self.constraints.push(path(Expr::bin(
+                            BinOp::Eq,
+                            sz,
+                            Expr::konst(meta.size),
+                        )));
                     }
                 }
                 self.write_reg(*dst, Expr::konst(meta.base))?;
@@ -727,9 +764,10 @@ impl<'a, 'b> Attempt<'a, 'b> {
                             "unlock of unowned mutex",
                         )))
                     }
-                    None => self
-                        .constraints
-                        .push(path(Expr::bin(BinOp::Eq, v, Expr::konst(owner)))),
+                    None => {
+                        self.constraints
+                            .push(path(Expr::bin(BinOp::Eq, v, Expr::konst(owner))))
+                    }
                 }
                 self.write_mem(m, Width::W8, Expr::konst(0))?;
             }
@@ -787,7 +825,7 @@ impl<'a, 'b> Attempt<'a, 'b> {
             let taken_nonzero = match self.solver.check(&all) {
                 SolveResult::Sat(m) => m.eval_total(&cond).unwrap_or(0) != 0,
                 SolveResult::Unsat => return Err(Abort::Infeasible(Infeasible::Unsat)),
-                SolveResult::Unknown => {
+                SolveResult::Unknown(_) => {
                     self.unknown_used = true;
                     false
                 }
@@ -927,7 +965,10 @@ impl<'a, 'b> Attempt<'a, 'b> {
                     Some(_) => {}
                     None => constraints.push(Tagged {
                         expr: c,
-                        tag: Tag::MemCompat { addr, width: *width },
+                        tag: Tag::MemCompat {
+                            addr,
+                            width: *width,
+                        },
                     }),
                 }
             }

@@ -90,9 +90,10 @@ pub fn state_at(
 /// touch `addr`.
 pub fn was_preempted_between_accesses(suffix: &ExecutionSuffix, tid: ThreadId, addr: u64) -> bool {
     let touches = |s: &crate::suffix::SuffixStep| {
-        s.reads.iter().chain(s.writes.iter()).any(|&(a, w)| {
-            addr >= a && addr < a + w.bytes()
-        })
+        s.reads
+            .iter()
+            .chain(s.writes.iter())
+            .any(|&(a, w)| addr >= a && addr < a + w.bytes())
     };
     let mut saw_first = false;
     let mut preempted_since = false;

@@ -73,6 +73,13 @@ pub enum Relax {
 }
 
 /// Runs the full §3.2 analysis: verdict plus localization.
+///
+/// Solver `Unknown`s stay conservative regardless of their
+/// [`mvm_symbolic::UnknownReason`]: whether the solver ran out of
+/// assignment budget or hit a construct it cannot decide, an
+/// unknown-tainted "no feasible suffix" is reported with
+/// `proven: false` and a budget-cut search is [`HwVerdict::Inconclusive`]
+/// — a hardware accusation is never built on an undecided query.
 pub fn hardware_verdict(program: &Program, dump: &Coredump, config: &ResConfig) -> HwVerdict {
     let engine = ResEngine::new(program, config.clone());
     let base = engine.synthesize_relaxed(dump, Relax::None);
@@ -81,10 +88,7 @@ pub fn hardware_verdict(program: &Program, dump: &Coredump, config: &ResConfig) 
         Verdict::BudgetExhausted => return HwVerdict::Inconclusive,
         Verdict::NoFeasibleSuffix { .. } => {}
     }
-    let proven = matches!(
-        base.verdict,
-        Verdict::NoFeasibleSuffix { proven: true }
-    );
+    let proven = matches!(base.verdict, Verdict::NoFeasibleSuffix { proven: true });
 
     // Localize by relaxation. A flipped location and a register holding
     // a value derived from it can both restore feasibility for a

@@ -1,0 +1,346 @@
+//! The layered exploration kernel.
+//!
+//! The paper's core loop (§2.3–§2.4) is a budgeted backward search:
+//! pop a node, form predecessor hypotheses, test each by forward
+//! symbolic execution, keep the compatible children, repeat. The kernel
+//! factors that loop out of the RES engine so the same machinery drives
+//! the forward-ES baseline (making E3 apples-to-apples) and so search
+//! strategy, budgets, and solver accounting are each one seam:
+//!
+//! * [`budget`] — one [`Budget`] over nodes, per-hypothesis
+//!   instructions, solver assignments, and wall clock; every cutoff is
+//!   a [`CutReason`].
+//! * [`frontier`] — pluggable exploration orders ([`Dfs`] is
+//!   byte-identical to the historical engine; [`Bfs`] and [`BestFirst`]
+//!   are alternatives).
+//! * [`stats`] — [`KernelStats`], superseding `SearchStats`.
+//! * the trait seams below — hypothesis generation
+//!   ([`HypothesisGen`]), state transformation ([`StateTransform`]:
+//!   havoc + forward exec), artifact completion ([`Finalize`]), and the
+//!   `S' ⊇ Spost` compatibility check ([`CompatCheck`]).
+//!
+//! [`explore`] is the loop itself, generic over a driver implementing
+//! the seams.
+
+pub mod budget;
+pub mod frontier;
+pub mod stats;
+
+pub use budget::{Budget, BudgetMeter, CutReason};
+pub use frontier::{BestFirst, Bfs, Dfs, Frontier, FrontierKind, NodeScore};
+pub use stats::{AbandonedSpace, KernelStats};
+
+use mvm_symbolic::{ExprRef, SolveResult, SolverSession, UnknownReason};
+
+/// Produces predecessor (or, for forward search, successor) hypotheses
+/// for a node.
+pub trait HypothesisGen {
+    /// A point in the search space.
+    type Node;
+    /// One hypothesis about how to extend it.
+    type Candidate;
+
+    /// Enumerates the hypotheses for `node`, in deterministic order.
+    fn generate(&mut self, node: &Self::Node) -> Vec<Self::Candidate>;
+}
+
+/// Tests a hypothesis and, when it survives, builds the child node.
+///
+/// For RES this is havoc + forward symbolic execution of the
+/// hypothesized range plus the global satisfiability check; for the
+/// forward-ES baseline it is a concrete machine run.
+pub trait StateTransform: HypothesisGen {
+    /// Executes the hypothesis. `None` rejects it (the transform
+    /// records the rejection reason in `stats`); `Some` yields the
+    /// child and its frontier score.
+    fn transform(
+        &mut self,
+        node: &Self::Node,
+        cand: &Self::Candidate,
+        stats: &mut KernelStats,
+    ) -> Option<(NodeScore, Self::Node)>;
+
+    /// Cumulative solver assignments spent so far, for
+    /// [`Budget::max_solver_assignments`] enforcement.
+    fn solver_spent(&self) -> u64 {
+        0
+    }
+}
+
+/// Turns a finished node into a search artifact.
+pub trait Finalize: HypothesisGen {
+    /// What the search produces (an `ExecutionSuffix` for RES, a
+    /// witness schedule for forward-ES).
+    type Artifact;
+
+    /// Depth of `node` — the kernel's horizon check compares this
+    /// against the configured maximum.
+    fn depth(&self, node: &Self::Node) -> usize;
+
+    /// Completes `node` into an artifact, or rejects it late (counting
+    /// the failure in `stats`).
+    fn finalize(&mut self, node: &Self::Node, stats: &mut KernelStats) -> Option<Self::Artifact>;
+}
+
+/// Verdict of a compatibility check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompatVerdict {
+    /// A witness exists: the hypothesized earlier state can produce the
+    /// observed later state (`S' ⊇ Spost` holds).
+    Compatible,
+    /// Proven incompatible.
+    Incompatible,
+    /// The solver could not decide; RES keeps the hypothesis but flags
+    /// the suffix approximate.
+    Undecided(UnknownReason),
+}
+
+/// The `S' ⊇ Spost` compatibility check (paper §2.4) as a seam: given
+/// the accumulated constraint set, is the hypothesized execution
+/// consistent with everything reconstructed after it?
+pub trait CompatCheck {
+    /// Checks the conjunction of `constraints`.
+    fn compatible(&self, constraints: &[ExprRef]) -> CompatVerdict;
+}
+
+/// The standard implementation: ask the (memoizing) solver session.
+pub struct SessionCompat<'s> {
+    session: &'s SolverSession,
+}
+
+impl<'s> SessionCompat<'s> {
+    /// Wraps a session.
+    pub fn new(session: &'s SolverSession) -> Self {
+        SessionCompat { session }
+    }
+}
+
+impl CompatCheck for SessionCompat<'_> {
+    fn compatible(&self, constraints: &[ExprRef]) -> CompatVerdict {
+        match self.session.check(constraints) {
+            SolveResult::Sat(_) => CompatVerdict::Compatible,
+            SolveResult::Unsat => CompatVerdict::Incompatible,
+            SolveResult::Unknown(reason) => CompatVerdict::Undecided(reason),
+        }
+    }
+}
+
+/// Limits for one [`explore`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Resource budgets.
+    pub budget: Budget,
+    /// Maximum node depth; nodes at the horizon are finalized, not
+    /// expanded.
+    pub max_depth: usize,
+    /// Stop after this many artifacts.
+    pub max_artifacts: usize,
+}
+
+/// The exploration loop.
+///
+/// Replicates the historical engine's order of operations exactly (the
+/// golden suffix fixture depends on it): pop; stop if enough artifacts;
+/// admit against the budget (recording the cut and the abandoned
+/// frontier on failure); count the expansion; finalize at the depth
+/// horizon; generate hypotheses (finalizing childless nodes); transform
+/// each; finalize cul-de-sacs of nonzero depth; hand surviving children
+/// to the frontier.
+pub fn explore<D>(
+    driver: &mut D,
+    root: D::Node,
+    config: &ExploreConfig,
+    frontier: &mut dyn Frontier<D::Node>,
+    stats: &mut KernelStats,
+) -> Vec<D::Artifact>
+where
+    D: StateTransform + Finalize,
+{
+    let meter = BudgetMeter::start();
+    let mut artifacts = Vec::new();
+    frontier.extend(vec![(NodeScore::root(), root)]);
+    while let Some((_, node)) = frontier.pop() {
+        if artifacts.len() >= config.max_artifacts {
+            break;
+        }
+        if let Some(cut) = config
+            .budget
+            .admit(&meter, stats.nodes_expanded, driver.solver_spent())
+        {
+            stats.cut = Some(cut);
+            stats.abandoned.record(driver.depth(&node));
+            for (_, n) in frontier.drain() {
+                stats.abandoned.record(driver.depth(&n));
+            }
+            break;
+        }
+        stats.nodes_expanded += 1;
+        let depth = driver.depth(&node);
+        stats.deepest = stats.deepest.max(depth);
+
+        if depth >= config.max_depth {
+            if let Some(a) = driver.finalize(&node, stats) {
+                artifacts.push(a);
+            }
+            continue;
+        }
+        let candidates = driver.generate(&node);
+        if candidates.is_empty() {
+            if let Some(a) = driver.finalize(&node, stats) {
+                artifacts.push(a);
+            }
+            continue;
+        }
+        let mut children = Vec::new();
+        for cand in candidates {
+            stats.hypotheses += 1;
+            if let Some(child) = driver.transform(&node, &cand, stats) {
+                children.push(child);
+            }
+        }
+        if children.is_empty() {
+            // Cul-de-sac: the node itself is the longest suffix on this
+            // path.
+            if depth > 0 {
+                if let Some(a) = driver.finalize(&node, stats) {
+                    artifacts.push(a);
+                }
+            }
+            continue;
+        }
+        frontier.extend(children);
+    }
+    artifacts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy driver over a binary tree of u32 paths: node `p` has
+    /// children `2p` and `2p+1`; leaves at the depth horizon finalize
+    /// to their path value.
+    struct TreeDriver {
+        reject_odd: bool,
+    }
+
+    fn bit_depth(n: u32) -> usize {
+        (31 - n.leading_zeros()) as usize
+    }
+
+    impl HypothesisGen for TreeDriver {
+        type Node = u32;
+        type Candidate = u32;
+        fn generate(&mut self, node: &u32) -> Vec<u32> {
+            vec![node * 2, node * 2 + 1]
+        }
+    }
+
+    impl StateTransform for TreeDriver {
+        fn transform(
+            &mut self,
+            _node: &u32,
+            cand: &u32,
+            stats: &mut KernelStats,
+        ) -> Option<(NodeScore, u32)> {
+            if self.reject_odd && cand % 2 == 1 {
+                stats.rejected_structural += 1;
+                return None;
+            }
+            stats.accepted += 1;
+            Some((
+                NodeScore {
+                    priority: (cand % 2) as u8,
+                    depth: bit_depth(*cand),
+                    crumbs_matched: 0,
+                },
+                *cand,
+            ))
+        }
+    }
+
+    impl Finalize for TreeDriver {
+        type Artifact = u32;
+        fn depth(&self, node: &u32) -> usize {
+            bit_depth(*node)
+        }
+        fn finalize(&mut self, node: &u32, _stats: &mut KernelStats) -> Option<u32> {
+            Some(*node)
+        }
+    }
+
+    fn run(
+        driver: &mut TreeDriver,
+        kind: FrontierKind,
+        config: &ExploreConfig,
+    ) -> (Vec<u32>, KernelStats) {
+        let mut frontier = kind.build();
+        let mut stats = KernelStats::default();
+        let artifacts = explore(driver, 1u32, config, frontier.as_mut(), &mut stats);
+        (artifacts, stats)
+    }
+
+    #[test]
+    fn dfs_explores_best_priority_first() {
+        let mut d = TreeDriver { reject_odd: false };
+        let cfg = ExploreConfig {
+            budget: Budget::default(),
+            max_depth: 2,
+            max_artifacts: 1,
+        };
+        let (artifacts, stats) = run(&mut d, FrontierKind::Dfs, &cfg);
+        // Even children score priority 0, so DFS dives 1 → 2 → 4.
+        assert_eq!(artifacts, vec![4]);
+        assert_eq!(stats.cut, None);
+        assert!(stats.deepest >= 2);
+    }
+
+    #[test]
+    fn budget_cut_records_abandoned_frontier() {
+        let mut d = TreeDriver { reject_odd: false };
+        let cfg = ExploreConfig {
+            budget: Budget {
+                max_nodes: 2,
+                ..Budget::default()
+            },
+            max_depth: 8,
+            max_artifacts: 64,
+        };
+        let (artifacts, stats) = run(&mut d, FrontierKind::Dfs, &cfg);
+        assert!(artifacts.is_empty());
+        assert_eq!(stats.cut, Some(CutReason::Nodes));
+        assert_eq!(stats.nodes_expanded, 2);
+        // After 2 expansions the frontier holds 3 entries; all 3 are
+        // abandoned (the popped one plus the drained rest).
+        assert_eq!(stats.abandoned.nodes, 3);
+        assert!(stats.abandoned.max_depth >= stats.abandoned.min_depth);
+    }
+
+    #[test]
+    fn childless_nodes_finalize_as_cul_de_sacs() {
+        let mut d = TreeDriver { reject_odd: true };
+        let cfg = ExploreConfig {
+            budget: Budget::default(),
+            max_depth: 3,
+            max_artifacts: 64,
+        };
+        let (artifacts, stats) = run(&mut d, FrontierKind::Dfs, &cfg);
+        // Only even children survive: the single chain 1→2→4→8 (node 8
+        // sits at the depth horizon, so 3 expansions reject odd kids).
+        assert_eq!(artifacts, vec![8]);
+        assert_eq!(stats.rejected_structural, 3);
+    }
+
+    #[test]
+    fn artifact_cap_stops_the_search() {
+        let mut d = TreeDriver { reject_odd: false };
+        let cfg = ExploreConfig {
+            budget: Budget::default(),
+            max_depth: 3,
+            max_artifacts: 2,
+        };
+        let (artifacts, stats) = run(&mut d, FrontierKind::Bfs, &cfg);
+        assert_eq!(artifacts.len(), 2);
+        assert_eq!(stats.cut, None, "artifact cap is not a budget cut");
+    }
+}

@@ -1,0 +1,101 @@
+//! Kernel statistics — the currency of experiments E3, E4, A1, and A3.
+//!
+//! [`KernelStats`] supersedes the old `SearchStats` (which remains as a
+//! type alias so callers compile): every historical counter is kept
+//! under its old name, and the kernel layers add what the monolith
+//! could not report — which budget cut the search ([`CutReason`]), how
+//! much frontier was abandoned when it did, solver-session cache
+//! behaviour, and the split of accepted solver Unknowns by reason.
+
+use mvm_symbolic::SessionStats;
+
+use super::budget::CutReason;
+
+/// Frontier entries left unexplored when a budget cut the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbandonedSpace {
+    /// Entries abandoned (the popped-but-unexpanded node plus the rest
+    /// of the frontier).
+    pub nodes: u64,
+    /// Shallowest abandoned depth (0 when nothing was abandoned).
+    pub min_depth: usize,
+    /// Deepest abandoned depth.
+    pub max_depth: usize,
+}
+
+impl AbandonedSpace {
+    /// Accounts one abandoned entry at `depth`.
+    pub fn record(&mut self, depth: usize) {
+        if self.nodes == 0 {
+            self.min_depth = depth;
+            self.max_depth = depth;
+        } else {
+            self.min_depth = self.min_depth.min(depth);
+            self.max_depth = self.max_depth.max(depth);
+        }
+        self.nodes += 1;
+    }
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Nodes expanded.
+    pub nodes_expanded: u64,
+    /// Hypotheses executed.
+    pub hypotheses: u64,
+    /// Hypotheses accepted.
+    pub accepted: u64,
+    /// Rejections: control flow cannot work.
+    pub rejected_structural: u64,
+    /// Rejections: execution-time contradiction.
+    pub rejected_exec: u64,
+    /// Rejections: solver proved the combined constraints unsatisfiable.
+    pub rejected_solver: u64,
+    /// Rejections: LBR breadcrumb mismatch.
+    pub rejected_lbr: u64,
+    /// Rejections: error-log breadcrumb mismatch.
+    pub rejected_log: u64,
+    /// Rejections: per-hypothesis budget (inconclusive).
+    pub rejected_budget: u64,
+    /// Acceptances that leaned on a solver Unknown.
+    pub unknown_accepted: u64,
+    /// ... of which the solver ran out of assignment budget.
+    pub unknown_accepted_budget: u64,
+    /// ... of which the constraints were outside the solver's theory.
+    pub unknown_accepted_incomplete: u64,
+    /// Complete suffixes whose final model solve failed (pruned late).
+    pub finalize_failed: u64,
+    /// Deepest suffix reached.
+    pub deepest: usize,
+    /// Which budget dimension cut the search, if any.
+    pub cut: Option<CutReason>,
+    /// Frontier left unexplored by the cut.
+    pub abandoned: AbandonedSpace,
+    /// Solver-session counters for this search (queries, cache
+    /// hits/misses, verdict tallies, assignments spent).
+    pub solver: SessionStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abandoned_tracks_depth_range() {
+        let mut a = AbandonedSpace::default();
+        a.record(3);
+        assert_eq!((a.nodes, a.min_depth, a.max_depth), (1, 3, 3));
+        a.record(7);
+        a.record(1);
+        assert_eq!((a.nodes, a.min_depth, a.max_depth), (3, 1, 7));
+    }
+
+    #[test]
+    fn default_stats_report_no_cut() {
+        let s = KernelStats::default();
+        assert_eq!(s.cut, None);
+        assert_eq!(s.abandoned.nodes, 0);
+        assert_eq!(s.solver.queries, 0);
+    }
+}

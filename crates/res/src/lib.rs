@@ -36,6 +36,7 @@
 pub mod blockexec;
 pub mod debugaid;
 pub mod hwerr;
+pub mod kernel;
 pub mod replay;
 pub mod rootcause;
 pub mod search;
@@ -44,6 +45,7 @@ pub mod suffix;
 pub mod symctx;
 
 pub use hwerr::{hardware_verdict, HwVerdict};
+pub use kernel::{AbandonedSpace, Budget, CutReason, FrontierKind, KernelStats, NodeScore};
 pub use replay::{replay_suffix, ReplayReport};
 pub use rootcause::{analyze_root_cause, RootCause};
 pub use search::{ResConfig, ResEngine, SearchStats, SynthesisResult, Verdict};

@@ -53,7 +53,12 @@ pub struct ReplayReport {
 ///
 /// Exposed separately from [`replay_suffix`] so debugging aids (§3.3)
 /// can stop at intermediate points.
-pub fn instantiate(program: &Program, dump: &Coredump, suffix: &ExecutionSuffix, trace: TraceLevel) -> Machine {
+pub fn instantiate(
+    program: &Program,
+    dump: &Coredump,
+    suffix: &ExecutionSuffix,
+    trace: TraceLevel,
+) -> Machine {
     let mut per_thread: HashMap<ThreadId, VecDeque<u64>> = HashMap::new();
     for (tid, vals) in &suffix.inputs {
         per_thread.insert(*tid, vals.iter().copied().collect());
@@ -80,7 +85,8 @@ pub fn instantiate(program: &Program, dump: &Coredump, suffix: &ExecutionSuffix,
     // bump allocator), with suffix-freed blocks resurrected.
     let suffix_allocs: usize = suffix.steps.iter().map(|s| s.allocs).sum();
     let keep = dump.heap_allocs.len().saturating_sub(suffix_allocs);
-    m.heap_mut().install(dump.heap_allocs.iter().take(keep).copied());
+    m.heap_mut()
+        .install(dump.heap_allocs.iter().take(keep).copied());
     for s in &suffix.steps {
         for base in &s.frees {
             m.heap_mut().set_state(*base, AllocState::Live);

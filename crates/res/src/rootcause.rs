@@ -114,7 +114,11 @@ impl RootCause {
     /// answer to WER's call-stack buckets, §3.1).
     pub fn bucket_key(&self) -> String {
         match self {
-            RootCause::DataRace { write_loc, other_loc, .. } => {
+            RootCause::DataRace {
+                write_loc,
+                other_loc,
+                ..
+            } => {
                 // Order-normalize the two sites so either manifestation
                 // buckets identically.
                 let (a, b) = if write_loc <= other_loc {
@@ -124,15 +128,26 @@ impl RootCause {
                 };
                 format!("race:{a}:{b}")
             }
-            RootCause::AtomicityViolation { read_loc, write_loc, .. } => {
+            RootCause::AtomicityViolation {
+                read_loc,
+                write_loc,
+                ..
+            } => {
                 format!("av:{read_loc}:{write_loc}")
             }
             RootCause::BufferOverflow { access_loc, .. } => format!("overflow:{access_loc}"),
-            RootCause::UseAfterFree { free_loc, access_loc, .. } => match free_loc {
+            RootCause::UseAfterFree {
+                free_loc,
+                access_loc,
+                ..
+            } => match free_loc {
                 Some(f) => format!("uaf:{f}"),
                 None => format!("uaf:?:{access_loc}"),
             },
-            RootCause::DoubleFree { first_free_loc, second_free_loc } => match first_free_loc {
+            RootCause::DoubleFree {
+                first_free_loc,
+                second_free_loc,
+            } => match first_free_loc {
                 Some(f) => format!("dfree:{f}:{second_free_loc}"),
                 None => format!("dfree:?:{second_free_loc}"),
             },
@@ -183,10 +198,8 @@ pub fn analyze_root_cause(
                 .collect();
             // The faulting thread blocks at replay time; its mutex comes
             // from the machine.
-            if let Some(mvm_machine::ThreadStatus::BlockedOnLock(m)) = machine
-                .threads()
-                .get(&dump.faulting_tid)
-                .map(|t| t.status)
+            if let Some(mvm_machine::ThreadStatus::BlockedOnLock(m)) =
+                machine.threads().get(&dump.faulting_tid).map(|t| t.status)
             {
                 mutexes.push(m);
             }
@@ -300,9 +313,10 @@ fn find_order_violation(
             }
         }
         // The spawn argument may also carry the address.
-        let arg_is_global = t.frames.first().is_some_and(|f| {
-            f.regs.first().is_some_and(|&r| r == global.addr)
-        });
+        let arg_is_global = t
+            .frames
+            .first()
+            .is_some_and(|f| f.regs.first().is_some_and(|&r| r == global.addr));
         if stores && (names_global || arg_is_global) {
             return Some(RootCause::OrderViolation {
                 addr,
@@ -329,7 +343,12 @@ fn find_race(events: &[TraceEvent], dump: &Coredump) -> Option<RootCause> {
     let mut accesses: Vec<(ThreadId, Loc, AccessKind, u64, HashSet<u64>)> = Vec::new();
     for e in events {
         match e {
-            TraceEvent::Sync { tid, mutex, acquire, .. } => {
+            TraceEvent::Sync {
+                tid,
+                mutex,
+                acquire,
+                ..
+            } => {
                 let set = locks_held.entry(*tid).or_default();
                 if *acquire {
                     set.insert(*mutex);
@@ -337,7 +356,13 @@ fn find_race(events: &[TraceEvent], dump: &Coredump) -> Option<RootCause> {
                     set.remove(mutex);
                 }
             }
-            TraceEvent::Mem { tid, loc, kind, addr, .. } => {
+            TraceEvent::Mem {
+                tid,
+                loc,
+                kind,
+                addr,
+                ..
+            } => {
                 let held = locks_held.get(tid).cloned().unwrap_or_default();
                 accesses.push((*tid, *loc, *kind, *addr, held));
             }
@@ -356,17 +381,17 @@ fn find_race(events: &[TraceEvent], dump: &Coredump) -> Option<RootCause> {
             if held1.intersection(held2).next().is_some() {
                 continue;
             }
-            let one_writes = *k2 == AccessKind::Write
-                || accesses[i].2 == AccessKind::Write;
+            let one_writes = *k2 == AccessKind::Write || accesses[i].2 == AccessKind::Write;
             if !one_writes {
                 continue;
             }
             // Race candidate; check for the victim re-access (AV).
             let intruder_writes = *k2 == AccessKind::Write;
             if intruder_writes {
-                let reuse = accesses.iter().skip(i + 1).find(|(t3, _, _, a3, _)| {
-                    t3 == t1 && a3 == addr
-                });
+                let reuse = accesses
+                    .iter()
+                    .skip(i + 1)
+                    .find(|(t3, _, _, a3, _)| t3 == t1 && a3 == addr);
                 if let Some((_, l3, _, _, _)) = reuse {
                     let _ = l3;
                     best_av = Some(RootCause::AtomicityViolation {

@@ -27,10 +27,14 @@ use mvm_isa::{
     Terminator, //
 };
 use mvm_machine::ThreadId;
-use mvm_symbolic::{ExprRef, Model, SolveResult, Solver, SolverConfig};
+use mvm_symbolic::{ExprRef, Model, SolveResult, SolverConfig, SolverSession, UnknownReason};
 
 use crate::blockexec::{run_hypothesis, EndPoint, HypSpec, Infeasible, Tagged};
 use crate::hwerr::Relax;
+use crate::kernel::{
+    explore, Budget, CompatCheck, CompatVerdict, ExploreConfig, Finalize, FrontierKind,
+    HypothesisGen, KernelStats, NodeScore, SessionCompat, StateTransform,
+};
 use crate::snapshot::Snapshot;
 use crate::suffix::{ExecutionSuffix, SuffixStep};
 use crate::symctx::{SymCtx, SymOrigin};
@@ -46,6 +50,16 @@ pub struct ResConfig {
     pub max_suffixes: usize,
     /// Per-hypothesis instruction budget.
     pub hyp_max_steps: u64,
+    /// Cumulative solver-assignment budget for the whole search
+    /// (`None` = unlimited; the solver's own per-query budget still
+    /// applies).
+    pub max_solver_assignments: Option<u64>,
+    /// Wall-clock deadline for the whole search (`None` keeps the
+    /// search fully deterministic).
+    pub deadline: Option<std::time::Duration>,
+    /// Exploration order; the default reproduces the engine's
+    /// historical DFS byte-for-byte.
+    pub frontier: FrontierKind,
     /// Solver budgets.
     pub solver: SolverConfig,
     /// Prune candidates against the dump's LBR ring.
@@ -72,6 +86,9 @@ impl Default for ResConfig {
             max_nodes: 4000,
             max_suffixes: 4,
             hyp_max_steps: 4096,
+            max_solver_assignments: None,
+            deadline: None,
+            frontier: FrontierKind::Dfs,
             solver: SolverConfig::default(),
             use_lbr: false,
             lbr_filtered: false,
@@ -83,34 +100,23 @@ impl Default for ResConfig {
     }
 }
 
-/// Search statistics — the currency of experiments E3, E4, and A1.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct SearchStats {
-    /// Nodes expanded.
-    pub nodes_expanded: u64,
-    /// Hypotheses executed.
-    pub hypotheses: u64,
-    /// Hypotheses accepted.
-    pub accepted: u64,
-    /// Rejections: control flow cannot work.
-    pub rejected_structural: u64,
-    /// Rejections: execution-time contradiction.
-    pub rejected_exec: u64,
-    /// Rejections: solver proved the combined constraints unsatisfiable.
-    pub rejected_solver: u64,
-    /// Rejections: LBR breadcrumb mismatch.
-    pub rejected_lbr: u64,
-    /// Rejections: error-log breadcrumb mismatch.
-    pub rejected_log: u64,
-    /// Rejections: per-hypothesis budget (inconclusive).
-    pub rejected_budget: u64,
-    /// Acceptances that leaned on a solver Unknown.
-    pub unknown_accepted: u64,
-    /// Complete suffixes whose final model solve failed (pruned late).
-    pub finalize_failed: u64,
-    /// Deepest suffix reached.
-    pub deepest: usize,
+impl ResConfig {
+    /// The kernel [`Budget`] these knobs assemble into.
+    pub fn budget(&self) -> Budget {
+        Budget {
+            max_nodes: self.max_nodes,
+            hyp_max_steps: self.hyp_max_steps,
+            max_solver_assignments: self.max_solver_assignments,
+            deadline: self.deadline,
+        }
+    }
 }
+
+/// Search statistics — the currency of experiments E3, E4, and A1.
+///
+/// Kept as an alias of [`KernelStats`] so pre-kernel callers compile
+/// unchanged; every historical field survives under its old name.
+pub type SearchStats = KernelStats;
 
 /// The engine's overall verdict for a dump (paper §2.1: if no feasible
 /// path exists, "the coredump is likely due to hardware failure").
@@ -180,24 +186,31 @@ pub struct ResEngine<'p> {
     program: &'p Program,
     callgraph: CallGraph,
     config: ResConfig,
-    solver: Solver,
+    session: SolverSession,
 }
 
 impl<'p> ResEngine<'p> {
     /// Builds an engine (CFGs and call graph are precomputed).
     pub fn new(program: &'p Program, config: ResConfig) -> Self {
-        let solver = Solver::with_config(config.solver);
+        let session = SolverSession::with_config(config.solver);
         ResEngine {
             program,
             callgraph: CallGraph::build(program),
             config,
-            solver,
+            session,
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &ResConfig {
         &self.config
+    }
+
+    /// The engine's memoizing solver session. The cache persists across
+    /// `synthesize` calls — the §3.2 localization sweep, which re-solves
+    /// near-identical relaxed dumps, leans on this heavily.
+    pub fn session(&self) -> &SolverSession {
+        &self.session
     }
 
     /// Synthesizes execution suffixes for a coredump.
@@ -225,10 +238,7 @@ impl<'p> ResEngine<'p> {
                 .iter()
                 .any(|i| matches!(i, Inst::Spawn { .. }));
             let empty_after_spawn = has_spawn_before
-                && self
-                    .spawn_adjusted_start(loc.func, loc.block, loc.inst)
-                    .0
-                    >= loc.inst;
+                && self.spawn_adjusted_start(loc.func, loc.block, loc.inst).0 >= loc.inst;
             positions.insert(
                 t.tid,
                 ThreadPos {
@@ -269,62 +279,31 @@ impl<'p> ResEngine<'p> {
             depth: 0,
         };
 
-        let mut suffixes = Vec::new();
-        let mut stack = vec![root];
-        let mut budget_cut = false;
-        while let Some(node) = stack.pop() {
-            if suffixes.len() >= self.config.max_suffixes {
-                break;
-            }
-            if stats.nodes_expanded >= self.config.max_nodes {
-                budget_cut = true;
-                break;
-            }
-            stats.nodes_expanded += 1;
-            stats.deepest = stats.deepest.max(node.depth);
-
-            if node.depth >= self.config.max_depth {
-                if let Some(sfx) = self.finalize(&node, &ctx, &mut stats) {
-                    suffixes.push(sfx);
-                }
-                continue;
-            }
-            let candidates = self.enumerate(&node, dump);
-            if candidates.is_empty() {
-                if let Some(sfx) = self.finalize(&node, &ctx, &mut stats) {
-                    suffixes.push(sfx);
-                }
-                continue;
-            }
-            let mut children = Vec::new();
-            for cand in candidates {
-                stats.hypotheses += 1;
-                match self.try_candidate(&node, &cand, dump, &mut ctx, &mut stats) {
-                    Some(child) => children.push((cand.priority, child)),
-                    None => {}
-                }
-            }
-            if children.is_empty() {
-                // Cul-de-sac: the node itself is the longest suffix on
-                // this path.
-                if node.depth > 0 {
-                    if let Some(sfx) = self.finalize(&node, &ctx, &mut stats) {
-                        suffixes.push(sfx);
-                    }
-                }
-                continue;
-            }
-            // DFS: push lowest priority first so the best is popped
-            // first.
-            children.sort_by(|a, b| b.0.cmp(&a.0));
-            for (_, c) in children {
-                stack.push(c);
-            }
-        }
+        let session_before = self.session.stats();
+        let mut driver = SearchDriver {
+            engine: self,
+            dump,
+            ctx,
+            assignments_before: session_before.assignments,
+        };
+        let explore_config = ExploreConfig {
+            budget: self.config.budget(),
+            max_depth: self.config.max_depth,
+            max_artifacts: self.config.max_suffixes,
+        };
+        let mut frontier = self.config.frontier.build();
+        let suffixes = explore(
+            &mut driver,
+            root,
+            &explore_config,
+            frontier.as_mut(),
+            &mut stats,
+        );
+        stats.solver = self.session.stats().delta_since(&session_before);
 
         let verdict = if !suffixes.is_empty() {
             Verdict::SuffixFound
-        } else if budget_cut {
+        } else if stats.cut.is_some() {
             Verdict::BudgetExhausted
         } else {
             Verdict::NoFeasibleSuffix {
@@ -433,7 +412,12 @@ impl<'p> ResEngine<'p> {
     /// Start instruction for a range over `block`, truncated past the
     /// last `spawn` among the first `end_inst` instructions. Spawns are
     /// backward barriers for the block-granular engine.
-    fn spawn_adjusted_start(&self, func: mvm_isa::FuncId, block: BlockId, end_inst: u32) -> (u32, bool) {
+    fn spawn_adjusted_start(
+        &self,
+        func: mvm_isa::FuncId,
+        block: BlockId,
+        end_inst: u32,
+    ) -> (u32, bool) {
         let blk = self.program.func(func).block(block);
         let upto = (end_inst as usize).min(blk.insts.len());
         let last_spawn = blk.insts[..upto]
@@ -512,9 +496,11 @@ impl<'p> ResEngine<'p> {
         if !has_store || touched.is_empty() {
             return false;
         }
-        node.read_addrs
-            .iter()
-            .any(|&a| touched.iter().any(|&(base, size)| a >= base && a < base + size))
+        node.read_addrs.iter().any(|&a| {
+            touched
+                .iter()
+                .any(|&(base, size)| a >= base && a < base + size)
+        })
     }
 
     fn try_candidate(
@@ -548,7 +534,7 @@ impl<'p> ResEngine<'p> {
             max_steps: self.config.hyp_max_steps,
             skip_compat: self.config.skip_compat_check,
         };
-        let outcome = match run_hypothesis(&spec, &node.snap, ctx, &self.solver, node.depth) {
+        let outcome = match run_hypothesis(&spec, &node.snap, ctx, &self.session, node.depth) {
             Ok(o) => o,
             Err(Infeasible::Structural(_) | Infeasible::SpawnBarrier) => {
                 stats.rejected_structural += 1;
@@ -558,7 +544,7 @@ impl<'p> ResEngine<'p> {
                 stats.rejected_exec += 1;
                 return None;
             }
-            Err(Infeasible::Budget) => {
+            Err(Infeasible::Budget(_)) => {
                 stats.rejected_budget += 1;
                 return None;
             }
@@ -621,15 +607,19 @@ impl<'p> ResEngine<'p> {
         all.extend(outcome.constraints.iter().map(|t| t.expr.clone()));
         all.extend(log_constraints.iter().map(|t| t.expr.clone()));
         let mut unknown = outcome.unknown_used;
-        match self.solver.check(&all) {
-            SolveResult::Sat(_) => {}
-            SolveResult::Unsat => {
+        match SessionCompat::new(&self.session).compatible(&all) {
+            CompatVerdict::Compatible => {}
+            CompatVerdict::Incompatible => {
                 stats.rejected_solver += 1;
                 return None;
             }
-            SolveResult::Unknown => {
+            CompatVerdict::Undecided(reason) => {
                 unknown = true;
                 stats.unknown_accepted += 1;
+                match reason {
+                    UnknownReason::BudgetExhausted => stats.unknown_accepted_budget += 1,
+                    UnknownReason::Incomplete => stats.unknown_accepted_incomplete += 1,
+                }
             }
         }
         stats.accepted += 1;
@@ -662,7 +652,11 @@ impl<'p> ResEngine<'p> {
         // A thread parked at its function's entry with no caller frame
         // and no loop back-edge cannot go further back.
         if cand.start.block == BlockId(0) && cand.start.inst == 0 && cand.frame_depth == 0 {
-            let has_loop_pred = !self.callgraph.cfg(cand.start.func).preds(BlockId(0)).is_empty();
+            let has_loop_pred = !self
+                .callgraph
+                .cfg(cand.start.func)
+                .preds(BlockId(0))
+                .is_empty();
             if !has_loop_pred {
                 positions.get_mut(&cand.tid).unwrap().barrier = true;
             }
@@ -710,14 +704,19 @@ impl<'p> ResEngine<'p> {
         })
     }
 
-    fn finalize(&self, node: &Node, ctx: &SymCtx, stats: &mut SearchStats) -> Option<ExecutionSuffix> {
+    fn finalize(
+        &self,
+        node: &Node,
+        ctx: &SymCtx,
+        stats: &mut SearchStats,
+    ) -> Option<ExecutionSuffix> {
         if node.steps_rev.is_empty() {
             return None;
         }
         let exprs: Vec<ExprRef> = node.constraints.iter().map(|t| t.expr.clone()).collect();
-        let (model, approximate) = match self.solver.check(&exprs) {
+        let (model, approximate) = match self.session.check(&exprs) {
             SolveResult::Sat(m) => (m, node.unknown_used),
-            SolveResult::Unknown => (Model::new(), true),
+            SolveResult::Unknown(_) => (Model::new(), true),
             SolveResult::Unsat => {
                 stats.finalize_failed += 1;
                 return None;
@@ -761,5 +760,63 @@ impl<'p> ResEngine<'p> {
             constraints: node.constraints.clone(),
             approximate,
         })
+    }
+}
+
+/// Adapter wiring the RES backward search into the kernel seams: the
+/// engine's candidate enumeration is the hypothesis generator, havoc +
+/// forward symbolic execution (plus breadcrumb pruning and the global
+/// compatibility check) is the state transform, and suffix completion
+/// is the finalizer.
+struct SearchDriver<'e, 'p, 'd> {
+    engine: &'e ResEngine<'p>,
+    dump: &'d Coredump,
+    ctx: SymCtx,
+    assignments_before: u64,
+}
+
+impl HypothesisGen for SearchDriver<'_, '_, '_> {
+    type Node = Node;
+    type Candidate = Candidate;
+
+    fn generate(&mut self, node: &Node) -> Vec<Candidate> {
+        self.engine.enumerate(node, self.dump)
+    }
+}
+
+impl StateTransform for SearchDriver<'_, '_, '_> {
+    fn transform(
+        &mut self,
+        node: &Node,
+        cand: &Candidate,
+        stats: &mut KernelStats,
+    ) -> Option<(NodeScore, Node)> {
+        let child = self
+            .engine
+            .try_candidate(node, cand, self.dump, &mut self.ctx, stats)?;
+        let crumbs_matched =
+            (self.dump.lbr.len() - child.lbr_rem) + (self.dump.error_log.len() - child.log_rem);
+        let score = NodeScore {
+            priority: cand.priority,
+            depth: child.depth,
+            crumbs_matched,
+        };
+        Some((score, child))
+    }
+
+    fn solver_spent(&self) -> u64 {
+        self.engine.session.assignments_spent() - self.assignments_before
+    }
+}
+
+impl Finalize for SearchDriver<'_, '_, '_> {
+    type Artifact = ExecutionSuffix;
+
+    fn depth(&self, node: &Node) -> usize {
+        node.depth
+    }
+
+    fn finalize(&mut self, node: &Node, stats: &mut KernelStats) -> Option<ExecutionSuffix> {
+        self.engine.finalize(node, &self.ctx, stats)
     }
 }

@@ -239,7 +239,11 @@ impl Snapshot {
     /// the engine avoids by treating mixed overlap conservatively on
     /// read).
     pub fn write_mem(&mut self, addr: u64, width: Width, expr: ExprRef) {
-        let stale: Vec<u64> = self.overlapping(addr, width).into_iter().map(|(a, _)| a).collect();
+        let stale: Vec<u64> = self
+            .overlapping(addr, width)
+            .into_iter()
+            .map(|(a, _)| a)
+            .collect();
         for a in stale {
             self.cells.remove(&a);
         }
@@ -331,7 +335,10 @@ mod tests {
         let g = mvm_isa::layout::GLOBAL_BASE;
         s.write_mem(g, Width::W8, Expr::sym(0));
         assert!(matches!(s.read_mem(g, Width::W4), MemRead::MixedSymbolic));
-        assert!(matches!(s.read_mem(g + 4, Width::W8), MemRead::MixedSymbolic));
+        assert!(matches!(
+            s.read_mem(g + 4, Width::W8),
+            MemRead::MixedSymbolic
+        ));
     }
 
     #[test]

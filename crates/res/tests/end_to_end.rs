@@ -25,14 +25,26 @@ fn crash_with(src: &str, config: MachineConfig) -> (Program, Coredump) {
     let p = assemble(src).unwrap();
     let mut m = Machine::new(p.clone(), config);
     let o = m.run();
-    assert!(matches!(o, Outcome::Faulted { .. }), "expected fault, got {o:?}");
+    assert!(
+        matches!(o, Outcome::Faulted { .. }),
+        "expected fault, got {o:?}"
+    );
     (p, Coredump::capture(&m))
 }
 
-fn synthesize_and_replay(p: &Program, d: &Coredump, config: ResConfig) -> res_core::SynthesisResult {
+fn synthesize_and_replay(
+    p: &Program,
+    d: &Coredump,
+    config: ResConfig,
+) -> res_core::SynthesisResult {
     let engine = ResEngine::new(p, config);
     let result = engine.synthesize(d);
-    assert_eq!(result.verdict, Verdict::SuffixFound, "stats: {:?}", result.stats);
+    assert_eq!(
+        result.verdict,
+        Verdict::SuffixFound,
+        "stats: {:?}",
+        result.stats
+    );
     let mut reproduced = false;
     for sfx in &result.suffixes {
         let rep = replay_suffix(p, d, sfx);
@@ -126,8 +138,14 @@ fn figure1_predecessor_disambiguation() {
     let pred2 = p.func(main).block_by_label("pred2").unwrap();
     let sfx = &result.suffixes[0];
     let blocks: Vec<_> = sfx.steps.iter().map(|s| s.start.block).collect();
-    assert!(blocks.contains(&pred1), "suffix must pass through pred1: {blocks:?}");
-    assert!(!blocks.contains(&pred2), "suffix must not pass through pred2: {blocks:?}");
+    assert!(
+        blocks.contains(&pred1),
+        "suffix must pass through pred1: {blocks:?}"
+    );
+    assert!(
+        !blocks.contains(&pred2),
+        "suffix must not pass through pred2: {blocks:?}"
+    );
 }
 
 #[test]
@@ -367,7 +385,12 @@ fn hardware_register_corruption_detected() {
     let v = hardware_verdict(&p, &d, &ResConfig::default());
     match v {
         HwVerdict::HardwareSuspected { kind, .. } => {
-            assert_eq!(kind, res_core::hwerr::HwKind::CpuError { reg: mvm_isa::Reg(1) });
+            assert_eq!(
+                kind,
+                res_core::hwerr::HwKind::CpuError {
+                    reg: mvm_isa::Reg(1)
+                }
+            );
         }
         other => panic!("expected hardware verdict, got {other:?}"),
     }

@@ -6,7 +6,7 @@ use mvm_core::Coredump;
 use mvm_isa::asm::assemble;
 use mvm_isa::{Loc, Program, Reg};
 use mvm_machine::{Fault, InputSource, Machine, MachineConfig, Outcome};
-use mvm_symbolic::Solver;
+use mvm_symbolic::SolverSession;
 use res_core::blockexec::{run_hypothesis, EndPoint, HypSpec};
 use res_core::debugaid;
 use res_core::{replay_suffix, ResConfig, ResEngine, Snapshot, SymCtx, Verdict};
@@ -42,7 +42,7 @@ fn hypothesis_executor_handles_read_then_write() {
     );
     let snap = Snapshot::from_coredump(&d);
     let mut ctx = SymCtx::new();
-    let solver = Solver::new();
+    let solver = SolverSession::new();
     let pc = d.fault_pc();
     let spec = HypSpec {
         program: &p,
@@ -101,7 +101,7 @@ fn hypothesis_executor_rejects_unreachable_end() {
     );
     let snap = Snapshot::from_coredump(&d);
     let mut ctx = SymCtx::new();
-    let solver = Solver::new();
+    let solver = SolverSession::new();
     let main = p.func_by_name("main").unwrap();
     let a = p.func(main).block_by_label("a").unwrap();
     // Hypothesis: block `a` executed immediately before... block `b`?
@@ -273,15 +273,8 @@ fn state_at_answers_hypothesis_queries() {
     let next = p.func(main).block_by_label("next").unwrap();
     // "What was the state when execution reached `next`?"
     let g_addr = mvm_isa::layout::GLOBAL_BASE;
-    let (regs, mem) = debugaid::state_at(
-        &p,
-        &d,
-        sfx,
-        0,
-        Loc::block_start(main, next),
-        &[g_addr],
-    )
-    .expect("pc reached");
+    let (regs, mem) = debugaid::state_at(&p, &d, sfx, 0, Loc::block_start(main, next), &[g_addr])
+        .expect("pc reached");
     assert_eq!(regs[Reg(1).index()], 41);
     assert_eq!(mem, vec![(g_addr, 41)]);
     // A PC the suffix never visits yields None.
@@ -382,8 +375,14 @@ fn opaque_memory_loses_disambiguation() {
         "#,
         MachineConfig::default(),
     );
-    let full = ResEngine::new(&p, ResConfig { max_suffixes: 8, ..ResConfig::default() })
-        .synthesize(&d);
+    let full = ResEngine::new(
+        &p,
+        ResConfig {
+            max_suffixes: 8,
+            ..ResConfig::default()
+        },
+    )
+    .synthesize(&d);
     let opaque = ResEngine::new(
         &p,
         ResConfig {

@@ -64,7 +64,9 @@ impl std::error::Error for JsonError {}
 
 impl From<crate::parse::ParseError> for JsonError {
     fn from(e: crate::parse::ParseError) -> Self {
-        JsonError { message: e.to_string() }
+        JsonError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -72,11 +74,7 @@ impl From<crate::parse::ParseError> for JsonError {
 /// deserializes as `null` (so `Option` fields tolerate omission, as
 /// serde's `default` would), and any inner error is annotated with the
 /// `Type.field` path.
-pub fn field<T: FromJson>(
-    obj: &[(String, Json)],
-    key: &str,
-    ty: &str,
-) -> Result<T, JsonError> {
+pub fn field<T: FromJson>(obj: &[(String, Json)], key: &str, ty: &str) -> Result<T, JsonError> {
     let v = obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
     match v {
         Some(v) => T::from_json(v).map_err(|e| e.in_context(&format!("{ty}.{key}"))),
@@ -219,9 +217,7 @@ impl<T: FromJson> FromJson for Vec<T> {
         items
             .iter()
             .enumerate()
-            .map(|(i, item)| {
-                T::from_json(item).map_err(|e| e.in_context(&format!("[{i}]")))
-            })
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.in_context(&format!("[{i}]"))))
             .collect()
     }
 }
@@ -381,10 +377,7 @@ mod tests {
         let d: VecDeque<u8> = VecDeque::from(vec![9, 8]);
         assert_eq!(VecDeque::<u8>::from_json(&d.to_json()).unwrap(), d);
         let t = (1u64, "a".to_string(), -2i64);
-        assert_eq!(
-            <(u64, String, i64)>::from_json(&t.to_json()).unwrap(),
-            t
-        );
+        assert_eq!(<(u64, String, i64)>::from_json(&t.to_json()).unwrap(), t);
     }
 
     #[test]
@@ -392,10 +385,7 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(4096u64, vec![1u8, 2]);
         let j = m.to_json();
-        assert_eq!(
-            j.to_string_compact(),
-            r#"{"4096":[1,2]}"#
-        );
+        assert_eq!(j.to_string_compact(), r#"{"4096":[1,2]}"#);
         assert_eq!(BTreeMap::<u64, Vec<u8>>::from_json(&j).unwrap(), m);
     }
 

@@ -301,7 +301,10 @@ mod tests {
             ops: vec![
                 Op::Nop,
                 Op::Push(u64::MAX),
-                Op::Load { id: Id(3), offset: -8 },
+                Op::Load {
+                    id: Id(3),
+                    offset: -8,
+                },
                 Op::Pair((1, 2)),
             ],
             limit: None,
@@ -345,8 +348,7 @@ mod tests {
 
     #[test]
     fn type_mismatch_reports_path() {
-        let e = from_str::<Prog>(r#"{"name":"p","ops":[{"Push":"x"}],"limit":null}"#)
-            .unwrap_err();
+        let e = from_str::<Prog>(r#"{"name":"p","ops":[{"Push":"x"}],"limit":null}"#).unwrap_err();
         assert!(e.message.contains("Push"), "{}", e.message);
     }
 }

@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -182,8 +186,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let code =
-                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(code)
                                 } else {
                                     return Err(self.err("unpaired high surrogate"));
@@ -328,8 +331,20 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "tru", "[1,]", "{\"a\":}", "{\"a\" 1}", "[1 2]", "1 2", "\"abc",
-            "{\"a\":1,}", "nul", "+1", "01a", "\"\\q\"", "[",
+            "",
+            "tru",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1 2]",
+            "1 2",
+            "\"abc",
+            "{\"a\":1,}",
+            "nul",
+            "+1",
+            "01a",
+            "\"\\q\"",
+            "[",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

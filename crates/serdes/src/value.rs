@@ -97,7 +97,10 @@ impl Json {
 
     /// Looks up an object member by key.
     pub fn get(&self, key: &str) -> Option<&Json> {
-        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// The payload of an externally-tagged enum variant: `Some(inner)`
@@ -278,7 +281,10 @@ mod tests {
 
     #[test]
     fn u64_max_survives_exactly() {
-        assert_eq!(Json::U64(u64::MAX).to_string_compact(), "18446744073709551615");
+        assert_eq!(
+            Json::U64(u64::MAX).to_string_compact(),
+            "18446744073709551615"
+        );
         assert_eq!(Json::I64(-42).to_string_compact(), "-42");
     }
 
@@ -287,10 +293,7 @@ mod tests {
         let one = Json::Obj(vec![("X".into(), Json::U64(1))]);
         assert_eq!(one.variant_payload("X"), Some(&Json::U64(1)));
         assert_eq!(one.variant_payload("Y"), None);
-        let two = Json::Obj(vec![
-            ("X".into(), Json::U64(1)),
-            ("Y".into(), Json::U64(2)),
-        ]);
+        let two = Json::Obj(vec![("X".into(), Json::U64(1)), ("Y".into(), Json::U64(2))]);
         assert_eq!(two.variant_payload("X"), None);
     }
 }

@@ -73,7 +73,13 @@ impl Expr {
         }
         // Identities. Commutative ops are normalized const-right first.
         let (a, b) = match op {
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+            BinOp::Add
+            | BinOp::Mul
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Eq
+            | BinOp::Ne
                 if a.as_const().is_some() && b.as_const().is_none() =>
             {
                 (b, a)
@@ -81,10 +87,20 @@ impl Expr {
             _ => (a, b),
         };
         match (op, a.as_const(), b.as_const()) {
-            (BinOp::Add | BinOp::Sub | BinOp::Xor | BinOp::Or | BinOp::Shl | BinOp::Shr | BinOp::Sar, _, Some(0)) => {
-                return a
-            }
-            (BinOp::Mul, _, Some(1)) | (BinOp::DivU, _, Some(1)) | (BinOp::And, _, Some(u64::MAX)) => return a,
+            (
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Xor
+                | BinOp::Or
+                | BinOp::Shl
+                | BinOp::Shr
+                | BinOp::Sar,
+                _,
+                Some(0),
+            ) => return a,
+            (BinOp::Mul, _, Some(1))
+            | (BinOp::DivU, _, Some(1))
+            | (BinOp::And, _, Some(u64::MAX)) => return a,
             (BinOp::Mul | BinOp::And, _, Some(0)) => return Expr::konst(0),
             (BinOp::Or, _, Some(u64::MAX)) => return Expr::konst(u64::MAX),
             (BinOp::RemU, _, Some(1)) => return Expr::konst(0),

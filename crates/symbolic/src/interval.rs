@@ -20,7 +20,10 @@ json_struct!(Interval { lo, hi });
 
 impl Interval {
     /// The full domain.
-    pub const TOP: Interval = Interval { lo: 0, hi: u64::MAX };
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u64::MAX,
+    };
 
     /// A singleton interval.
     pub fn point(v: u64) -> Self {
@@ -185,7 +188,10 @@ mod tests {
         assert_eq!(a.add(&b), Interval::new(11, 23));
         assert_eq!(b.sub(&a), Interval::new(7, 19));
         // Wraparound possibility collapses to TOP.
-        assert_eq!(Interval::new(0, u64::MAX).add(&Interval::point(1)), Interval::TOP);
+        assert_eq!(
+            Interval::new(0, u64::MAX).add(&Interval::point(1)),
+            Interval::TOP
+        );
         assert_eq!(Interval::new(0, 5).sub(&Interval::point(1)), Interval::TOP);
     }
 

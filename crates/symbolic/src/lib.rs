@@ -26,9 +26,11 @@
 pub mod expr;
 pub mod interval;
 pub mod model;
+pub mod session;
 pub mod solver;
 
 pub use expr::{Expr, ExprRef, SymId};
 pub use interval::Interval;
 pub use model::Model;
-pub use solver::{SolveResult, Solver, SolverConfig};
+pub use session::{SessionStats, SolverSession};
+pub use solver::{SolveResult, Solver, SolverConfig, UnknownReason};

@@ -1,0 +1,261 @@
+//! A memoizing solver session.
+//!
+//! The RES search loop issues many satisfiability checks over constraint
+//! sets that repeat: sibling hypotheses share the suffix they extend, the
+//! hardware-error localization sweep re-solves the same relaxed sets, and
+//! the global compatibility check grows one tagged constraint at a time.
+//! Because [`ExprRef`]s are structurally hashed and the solver is a
+//! deterministic function of its input, a `(constraint set → result)`
+//! memo is exact: a cache hit returns precisely what a fresh
+//! [`Solver::check`] would.
+//!
+//! [`SolverSession`] wraps a [`Solver`] with that memo plus cumulative
+//! accounting — queries, hit/miss counts, sat/unsat/unknown tallies
+//! (unknowns split by [`UnknownReason`]), and the total enumeration
+//! assignments spent. The assignment total is what kernel-level solver
+//! budgets are charged against; cache hits cost zero, which is the point.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::expr::ExprRef;
+use crate::solver::{SolveResult, Solver, SolverConfig, UnknownReason};
+
+/// Cumulative counters for one [`SolverSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Total `check` calls.
+    pub queries: u64,
+    /// Queries answered from the memo cache.
+    pub cache_hits: u64,
+    /// Queries that ran the underlying solver.
+    pub cache_misses: u64,
+    /// Sat verdicts (counting cached replays).
+    pub sat: u64,
+    /// Unsat verdicts (counting cached replays).
+    pub unsat: u64,
+    /// Unknown verdicts caused by assignment-budget exhaustion.
+    pub unknown_budget: u64,
+    /// Unknown verdicts caused by a theory gap.
+    pub unknown_incomplete: u64,
+    /// Enumeration assignments spent by cache misses.
+    pub assignments: u64,
+}
+
+impl SessionStats {
+    /// Counter-wise difference `self - earlier`; use with a snapshot
+    /// taken before a phase to attribute work to that phase.
+    pub fn delta_since(&self, earlier: &SessionStats) -> SessionStats {
+        SessionStats {
+            queries: self.queries - earlier.queries,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            sat: self.sat - earlier.sat,
+            unsat: self.unsat - earlier.unsat,
+            unknown_budget: self.unknown_budget - earlier.unknown_budget,
+            unknown_incomplete: self.unknown_incomplete - earlier.unknown_incomplete,
+            assignments: self.assignments - earlier.assignments,
+        }
+    }
+
+    /// Cache hit rate in `[0, 1]`; 0 when no queries ran.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// A [`Solver`] wrapped with a constraint-set memo cache and cumulative
+/// accounting.
+///
+/// Interior mutability keeps the caller's API `&self`: the search engine
+/// threads one session through hypothesis testing, finalization, and the
+/// localization sweep without plumbing `&mut` everywhere.
+#[derive(Debug, Default)]
+pub struct SolverSession {
+    solver: Solver,
+    cache: RefCell<HashMap<Vec<ExprRef>, SolveResult>>,
+    stats: RefCell<SessionStats>,
+}
+
+impl SolverSession {
+    /// Session around a solver with default budgets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Session around a solver with explicit budgets.
+    pub fn with_config(config: SolverConfig) -> Self {
+        SolverSession {
+            solver: Solver::with_config(config),
+            ..Self::default()
+        }
+    }
+
+    /// Session around an existing solver.
+    pub fn from_solver(solver: Solver) -> Self {
+        SolverSession {
+            solver,
+            ..Self::default()
+        }
+    }
+
+    /// Memoized [`Solver::check`]: the conjunction of `constraints`,
+    /// each truthy when non-zero.
+    ///
+    /// The key is the constraint *sequence* — structurally equal sets in
+    /// a different order miss; callers with a canonical build order (as
+    /// the search engine has) get exact reuse anyway.
+    pub fn check(&self, constraints: &[ExprRef]) -> SolveResult {
+        let mut stats = self.stats.borrow_mut();
+        stats.queries += 1;
+        if let Some(hit) = self.cache.borrow().get(constraints) {
+            stats.cache_hits += 1;
+            Self::tally(&mut stats, hit);
+            return hit.clone();
+        }
+        stats.cache_misses += 1;
+        drop(stats);
+        let (result, used) = self.solver.check_counted(constraints);
+        let mut stats = self.stats.borrow_mut();
+        stats.assignments += used;
+        Self::tally(&mut stats, &result);
+        self.cache
+            .borrow_mut()
+            .insert(constraints.to_vec(), result.clone());
+        result
+    }
+
+    /// Memoized [`Solver::solve`]: check and demand a model.
+    pub fn solve(&self, constraints: &[ExprRef]) -> Option<crate::model::Model> {
+        match self.check(constraints) {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn tally(stats: &mut SessionStats, result: &SolveResult) {
+        match result {
+            SolveResult::Sat(_) => stats.sat += 1,
+            SolveResult::Unsat => stats.unsat += 1,
+            SolveResult::Unknown(UnknownReason::BudgetExhausted) => stats.unknown_budget += 1,
+            SolveResult::Unknown(UnknownReason::Incomplete) => stats.unknown_incomplete += 1,
+        }
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> SessionStats {
+        *self.stats.borrow()
+    }
+
+    /// Total enumeration assignments spent so far (cache hits are free).
+    pub fn assignments_spent(&self) -> u64 {
+        self.stats.borrow().assignments
+    }
+
+    /// Number of distinct constraint sets memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// The wrapped solver, for callers that need an uncached check.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use mvm_isa::BinOp;
+
+    fn eq(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    #[test]
+    fn repeat_query_hits_cache_and_agrees() {
+        let session = SolverSession::new();
+        let cs = vec![eq(
+            Expr::bin(BinOp::Add, Expr::sym(0), Expr::konst(5)),
+            Expr::konst(12),
+        )];
+        let first = session.check(&cs);
+        let second = session.check(&cs);
+        assert_eq!(first, second);
+        let st = session.stats();
+        assert_eq!(st.queries, 2);
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.cache_misses, 1);
+        assert_eq!(st.sat, 2, "cached replays still tally verdicts");
+        assert_eq!(session.cache_len(), 1);
+    }
+
+    #[test]
+    fn cached_answer_equals_fresh_solver() {
+        let session = SolverSession::new();
+        let fresh = Solver::new();
+        let cs = vec![
+            eq(
+                Expr::bin(BinOp::Add, Expr::sym(0), Expr::sym(1)),
+                Expr::konst(10),
+            ),
+            eq(Expr::sym(0), Expr::konst(4)),
+        ];
+        assert_eq!(session.check(&cs), fresh.check(&cs));
+        assert_eq!(session.check(&cs), fresh.check(&cs)); // now from cache
+    }
+
+    #[test]
+    fn assignments_accrue_only_on_misses() {
+        let session = SolverSession::new();
+        // Forces enumeration: two-symbol non-invertible constraint.
+        let cs = vec![
+            eq(
+                Expr::bin(BinOp::Mul, Expr::sym(0), Expr::sym(0)),
+                Expr::konst(9),
+            ),
+            Expr::bin(BinOp::LtU, Expr::sym(0), Expr::konst(4)),
+        ];
+        session.check(&cs);
+        let after_miss = session.assignments_spent();
+        assert!(after_miss > 0, "enumeration must cost assignments");
+        session.check(&cs);
+        assert_eq!(session.assignments_spent(), after_miss, "hits are free");
+    }
+
+    #[test]
+    fn unknown_reasons_are_split() {
+        let session = SolverSession::with_config(SolverConfig {
+            max_assignments: 10,
+            ..SolverConfig::default()
+        });
+        let cs = vec![eq(
+            Expr::bin(BinOp::Mul, Expr::sym(0), Expr::sym(0)),
+            Expr::konst(0x4000_0000_0000_0001),
+        )];
+        let r = session.check(&cs);
+        assert!(r.is_unknown(), "tiny budget must not decide: {r:?}");
+        let st = session.stats();
+        assert_eq!(st.unknown_budget + st.unknown_incomplete, 1);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_phase() {
+        let session = SolverSession::new();
+        let a = vec![eq(Expr::sym(0), Expr::konst(1))];
+        let b = vec![eq(Expr::sym(0), Expr::konst(2))];
+        session.check(&a);
+        let snap = session.stats();
+        session.check(&b);
+        session.check(&b);
+        let d = session.stats().delta_since(&snap);
+        assert_eq!(d.queries, 2);
+        assert_eq!(d.cache_misses, 1);
+        assert_eq!(d.cache_hits, 1);
+    }
+}

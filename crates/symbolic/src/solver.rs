@@ -50,6 +50,17 @@ impl Default for SolverConfig {
     }
 }
 
+/// Why a check came back [`SolveResult::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnknownReason {
+    /// The enumeration ran out of its assignment budget; a larger
+    /// `max_assignments` might produce a verdict.
+    BudgetExhausted,
+    /// The residual constraints are outside what the solver can decide
+    /// (theory gap); no budget increase will help.
+    Incomplete,
+}
+
 /// The outcome of a satisfiability check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SolveResult {
@@ -57,8 +68,8 @@ pub enum SolveResult {
     Sat(Model),
     /// Proven unsatisfiable.
     Unsat,
-    /// Budget exhausted without a verdict.
-    Unknown,
+    /// No verdict, with the reason (budget vs theory gap).
+    Unknown(UnknownReason),
 }
 
 impl SolveResult {
@@ -78,6 +89,11 @@ impl SolveResult {
     /// `true` if proven unsatisfiable.
     pub fn is_unsat(&self) -> bool {
         matches!(self, SolveResult::Unsat)
+    }
+
+    /// `true` if no verdict was reached.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SolveResult::Unknown(_))
     }
 }
 
@@ -170,7 +186,13 @@ impl State {
         if let Some(&old) = self.bindings.get(&s) {
             return if old == v { Ok(false) } else { Err(()) };
         }
-        if !self.intervals.get(&s).copied().unwrap_or_default().contains(v) {
+        if !self
+            .intervals
+            .get(&s)
+            .copied()
+            .unwrap_or_default()
+            .contains(v)
+        {
             return Err(());
         }
         self.bindings.insert(s, v);
@@ -209,13 +231,21 @@ impl Solver {
     /// Checks the conjunction of `constraints` (each truthy when
     /// non-zero).
     pub fn check(&self, constraints: &[ExprRef]) -> SolveResult {
+        self.check_counted(constraints).0
+    }
+
+    /// Like [`check`](Solver::check), but also reports how many full
+    /// assignments the enumeration phase consumed (0 when propagation
+    /// alone decided the query). This is the currency the kernel-level
+    /// solver budget is denominated in.
+    pub fn check_counted(&self, constraints: &[ExprRef]) -> (SolveResult, u64) {
         let mut st = State {
             bindings: BTreeMap::new(),
             intervals: BTreeMap::new(),
             constraints: constraints.to_vec(),
         };
         match self.propagate(&mut st) {
-            Err(()) => return SolveResult::Unsat,
+            Err(()) => return (SolveResult::Unsat, 0),
             Ok(()) => {}
         }
         if st.constraints.is_empty() {
@@ -229,7 +259,7 @@ impl Solver {
                     model.set(s, iv.lo);
                 }
             }
-            return SolveResult::Sat(model);
+            return (SolveResult::Sat(model), 0);
         }
         self.enumerate(st)
     }
@@ -298,7 +328,11 @@ impl Solver {
                 if b.as_const() == Some(0) {
                     if let Expr::Bin(op, x, y) = &**a {
                         if let Some((nop, swap)) = negate_cmp(*op) {
-                            let (x, y) = if swap { (y.clone(), x.clone()) } else { (x.clone(), y.clone()) };
+                            let (x, y) = if swap {
+                                (y.clone(), x.clone())
+                            } else {
+                                (x.clone(), y.clone())
+                            };
                             let rewritten = Expr::bin(nop, x, y);
                             return self.extract(&rewritten, st).map(|r| match r {
                                 Some(()) => Some(()),
@@ -367,7 +401,7 @@ impl Solver {
         }
     }
 
-    fn enumerate(&self, st: State) -> SolveResult {
+    fn enumerate(&self, st: State) -> (SolveResult, u64) {
         // Free symbols of the residual constraints.
         let mut syms: BTreeSet<SymId> = BTreeSet::new();
         for c in &st.constraints {
@@ -375,8 +409,9 @@ impl Solver {
         }
         let syms: Vec<SymId> = syms.into_iter().collect();
         if syms.is_empty() {
-            // Residual constraints with no symbols should have folded.
-            return SolveResult::Unknown;
+            // Residual constraints with no symbols should have folded;
+            // if they didn't, that's a theory gap, not a budget issue.
+            return (SolveResult::Unknown(UnknownReason::Incomplete), 0);
         }
         // Seed constants from the constraints.
         let mut seeds: BTreeSet<u64> = BTreeSet::new();
@@ -416,7 +451,9 @@ impl Solver {
                     x ^= x >> 12;
                     x ^= x << 25;
                     x ^= x >> 27;
-                    let v = iv.lo.wrapping_add(x.wrapping_mul(0x2545_f491_4f6c_dd1d) % iv.count().max(1));
+                    let v = iv
+                        .lo
+                        .wrapping_add(x.wrapping_mul(0x2545_f491_4f6c_dd1d) % iv.count().max(1));
                     if iv.contains(v) {
                         cs.insert(v);
                     }
@@ -439,7 +476,8 @@ impl Solver {
             &mut assignment,
             &mut budget,
         );
-        match found {
+        let used = self.config.max_assignments - budget;
+        let result = match found {
             Some(model_map) => {
                 let mut model = Model::new();
                 for (s, v) in model_map {
@@ -448,8 +486,12 @@ impl Solver {
                 SolveResult::Sat(model)
             }
             None if complete && budget > 0 => SolveResult::Unsat,
-            None => SolveResult::Unknown,
-        }
+            None if budget == 0 => SolveResult::Unknown(UnknownReason::BudgetExhausted),
+            // Candidate space exhausted but incomplete: more budget would
+            // not have helped, the probe set just missed.
+            None => SolveResult::Unknown(UnknownReason::Incomplete),
+        };
+        (result, used)
     }
 
     /// Checks whether any constraint, specialized to the current partial
@@ -471,8 +513,7 @@ impl Solver {
             if !syms.iter().all(|q| *q == s || assignment.contains_key(q)) {
                 continue;
             }
-            let specialized =
-                c.substitute(&|q| assignment.get(&q).map(|&v| Expr::konst(v)));
+            let specialized = c.substitute(&|q| assignment.get(&q).map(|&v| Expr::konst(v)));
             if let Expr::Bin(BinOp::Eq, a, b) = &*specialized {
                 let (expr, target) = match (a.as_const(), b.as_const()) {
                     (Some(t), None) => (b, t),
@@ -533,16 +574,23 @@ impl Solver {
             assignment.insert(s, v);
             // Early pruning: evaluate constraints that are fully
             // assigned so far.
-            let viable = constraints.iter().all(|c| {
-                match c.eval(&|q| assignment.get(&q).copied()) {
-                    Some(0) => false,
-                    Some(_) | None => true,
-                }
-            });
+            let viable =
+                constraints
+                    .iter()
+                    .all(|c| match c.eval(&|q| assignment.get(&q).copied()) {
+                        Some(0) => false,
+                        Some(_) | None => true,
+                    });
             if viable {
-                if let Some(m) =
-                    self.dfs(constraints, syms, candidates, order, depth + 1, assignment, budget)
-                {
+                if let Some(m) = self.dfs(
+                    constraints,
+                    syms,
+                    candidates,
+                    order,
+                    depth + 1,
+                    assignment,
+                    budget,
+                ) {
                     return Some(m);
                 }
             } else {

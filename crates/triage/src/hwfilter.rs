@@ -8,7 +8,9 @@
 //! away from developers. On a labeled corpus (genuine software failures
 //! plus injected corruptions) precision and recall are measurable.
 
-use mvm_core::{corrupt_register, corrupt_register_at, flip_memory_bit, flip_memory_bit_at, Coredump};
+use mvm_core::{
+    corrupt_register, corrupt_register_at, flip_memory_bit, flip_memory_bit_at, Coredump,
+};
 use mvm_isa::{Inst, Operand, Program, Reg};
 use res_core::{hardware_verdict, HwVerdict, ResConfig};
 use res_workloads::FailureReport;
@@ -96,7 +98,12 @@ pub fn consequential_sites(program: &Program, dump: &Coredump) -> (Vec<Reg>, Vec
                     regs.push(d);
                 }
             }
-            if let Inst::Store { addr: Operand::Reg(a), offset, .. } = inst {
+            if let Inst::Store {
+                addr: Operand::Reg(a),
+                offset,
+                ..
+            } = inst
+            {
                 if let Some(base) = addr_regs.get(a) {
                     mems.push(base.wrapping_add(*offset as u64));
                 }

@@ -72,7 +72,9 @@ pub fn run_to_failure(program: &Program, seed: u64) -> Option<Machine> {
                 seed,
                 switch_per_mille: 400,
             },
-            input: InputSource::Seeded { seed: seed ^ 0x5eed },
+            input: InputSource::Seeded {
+                seed: seed ^ 0x5eed,
+            },
             trace: TraceLevel::Off,
             max_steps: 2_000_000,
             ..MachineConfig::default()
@@ -165,7 +167,10 @@ mod tests {
         assert_eq!(corpus.len(), 6);
         assert!(corpus.iter().all(|r| r.dump.threads.iter().len() >= 1));
         assert_eq!(
-            corpus.iter().filter(|r| r.kind == BugKind::DivByZero).count(),
+            corpus
+                .iter()
+                .filter(|r| r.kind == BugKind::DivByZero)
+                .count(),
             3
         );
     }

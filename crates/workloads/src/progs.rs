@@ -526,15 +526,21 @@ mod tests {
     #[test]
     fn prefix_scales_execution_length() {
         // The prefix knob is what makes executions arbitrarily long.
-        let short = build(BugKind::DivByZero, WorkloadParams {
-            prefix_iters: 5,
-            ..WorkloadParams::default()
-        });
+        let short = build(
+            BugKind::DivByZero,
+            WorkloadParams {
+                prefix_iters: 5,
+                ..WorkloadParams::default()
+            },
+        );
         // Code size is identical — only *execution* length grows.
-        let long = build(BugKind::DivByZero, WorkloadParams {
-            prefix_iters: 50_000,
-            ..WorkloadParams::default()
-        });
+        let long = build(
+            BugKind::DivByZero,
+            WorkloadParams {
+                prefix_iters: 50_000,
+                ..WorkloadParams::default()
+            },
+        );
         assert_eq!(short.code_size(), long.code_size());
     }
 

@@ -60,7 +60,10 @@ fn main() {
 
     // "Was the main thread preempted between its accesses to the
     // counter?" — the paper's example hypothesis query.
-    if let RootCause::DataRace { addr, other_tid, .. } = &rc {
+    if let RootCause::DataRace {
+        addr, other_tid, ..
+    } = &rc
+    {
         let preempted = debugaid::was_preempted_between_accesses(suffix, *other_tid, *addr);
         println!(
             "\nwas thread {} preempted between accesses to {:#x}? {}",

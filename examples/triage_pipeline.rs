@@ -24,7 +24,11 @@ fn main() {
         per_kind: 4,
         ..CorpusSpec::default()
     };
-    println!("generating corpus ({} bug kinds × {} failures)...", spec.kinds.len(), spec.per_kind);
+    println!(
+        "generating corpus ({} bug kinds × {} failures)...",
+        spec.kinds.len(),
+        spec.per_kind
+    );
     let corpus = generate_corpus(&spec);
     println!("{} labeled failure reports\n", corpus.len());
 
@@ -47,7 +51,9 @@ fn main() {
     let keys = res_bucket_keys(&corpus, &ResConfig::default());
     let mut seen = std::collections::BTreeMap::new();
     for (r, k) in corpus.iter().zip(&keys) {
-        seen.entry(k.clone()).or_insert_with(Vec::new).push(r.kind.name());
+        seen.entry(k.clone())
+            .or_insert_with(Vec::new)
+            .push(r.kind.name());
     }
     for (key, kinds) in &seen {
         println!("  bucket {key}: {kinds:?}");

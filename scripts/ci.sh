@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# ci.sh — the full local gate: formatting, release build, every test
+# suite, and the hermetic-dependency check. Run before sending a PR;
+# everything here must pass with nothing but a Rust toolchain and no
+# network access.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> hermetic dependency check"
+"$repo_root/scripts/check_hermetic.sh"
+
+echo "ci OK"

@@ -35,7 +35,15 @@ fn load(dir: &Path) -> Result<(Program, Coredump), String> {
 fn cmd_list() {
     println!("bundled bug workloads:");
     for k in BugKind::ALL {
-        println!("  {:<24} {}", k.name(), if k.is_concurrent() { "(concurrent)" } else { "" });
+        println!(
+            "  {:<24} {}",
+            k.name(),
+            if k.is_concurrent() {
+                "(concurrent)"
+            } else {
+                ""
+            }
+        );
     }
 }
 
@@ -65,7 +73,12 @@ fn cmd_crash(kind: BugKind, dir: &Path) -> Result<(), String> {
 
 fn cmd_synthesize(dir: &Path) -> Result<(), String> {
     let (program, dump) = load(dir)?;
-    println!("fault: `{}` at {} (thread {})", dump.fault, dump.fault_pc(), dump.faulting_tid);
+    println!(
+        "fault: `{}` at {} (thread {})",
+        dump.fault,
+        dump.fault_pc(),
+        dump.faulting_tid
+    );
     let engine = ResEngine::new(&program, ResConfig::default());
     let result = engine.synthesize(&dump);
     println!(
@@ -81,7 +94,11 @@ fn cmd_synthesize(dir: &Path) -> Result<(), String> {
             "suffix #{i}: {} blocks / {} instructions, replay {}",
             sfx.len(),
             sfx.total_steps(),
-            if rep.reproduced { "REPRODUCED" } else { "diverged" }
+            if rep.reproduced {
+                "REPRODUCED"
+            } else {
+                "diverged"
+            }
         );
         if rep.reproduced {
             let rc = analyze_root_cause(&program, &dump, sfx);
@@ -106,7 +123,10 @@ fn cmd_demo(kind: BugKind) -> Result<(), String> {
         .find_map(|s| run_to_failure(&program, s))
         .ok_or_else(|| format!("{} did not fail in 500 schedules", kind.name()))?;
     let dump = Coredump::capture(&machine);
-    println!("production failure: `{}` after {} steps", dump.fault, dump.steps);
+    println!(
+        "production failure: `{}` after {} steps",
+        dump.fault, dump.steps
+    );
     let engine = ResEngine::new(&program, ResConfig::default());
     let result = engine.synthesize(&dump);
     println!(

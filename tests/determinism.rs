@@ -50,12 +50,36 @@ fn run_pipeline(kind: BugKind, prefix_iters: u64) -> PipelineFingerprint {
 fn assert_identical(kind: BugKind, prefix_iters: u64) {
     let a = run_pipeline(kind, prefix_iters);
     let b = run_pipeline(kind, prefix_iters);
-    assert_eq!(a.program_json, b.program_json, "{}: program JSON differs", kind.name());
-    assert_eq!(a.dump_json, b.dump_json, "{}: coredump JSON differs", kind.name());
+    assert_eq!(
+        a.program_json,
+        b.program_json,
+        "{}: program JSON differs",
+        kind.name()
+    );
+    assert_eq!(
+        a.dump_json,
+        b.dump_json,
+        "{}: coredump JSON differs",
+        kind.name()
+    );
     assert_eq!(a.verdict, b.verdict, "{}: verdict differs", kind.name());
-    assert_eq!(a.suffixes, b.suffixes, "{}: synthesized suffixes differ", kind.name());
-    assert_eq!(a.replays, b.replays, "{}: replay outcomes differ", kind.name());
-    assert!(!a.suffixes.is_empty(), "{}: expected at least one suffix", kind.name());
+    assert_eq!(
+        a.suffixes,
+        b.suffixes,
+        "{}: synthesized suffixes differ",
+        kind.name()
+    );
+    assert_eq!(
+        a.replays,
+        b.replays,
+        "{}: replay outcomes differ",
+        kind.name()
+    );
+    assert!(
+        !a.suffixes.is_empty(),
+        "{}: expected at least one suffix",
+        kind.name()
+    );
 }
 
 /// Deterministic single-threaded pipeline: byte-identical end to end.

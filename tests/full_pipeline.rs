@@ -42,8 +42,7 @@ fn hotos_eval_bugs_all_get_concurrency_root_causes() {
         let engine = ResEngine::new(&p, ResConfig::default());
         let result = engine.synthesize(&d);
         let found = result.suffixes.iter().any(|s| {
-            replay_suffix(&p, &d, s).reproduced
-                && analyze_root_cause(&p, &d, s).is_concurrency()
+            replay_suffix(&p, &d, s).reproduced && analyze_root_cause(&p, &d, s).is_concurrency()
         });
         assert!(found, "{kind:?}: concurrency root cause not identified");
     }

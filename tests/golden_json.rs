@@ -56,8 +56,12 @@ where
         std::fs::write(&path, format!("{rendered}\n")).expect("write fixture");
         return;
     }
-    let golden = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); regenerate with RES_REGEN_FIXTURES=1", path.display()));
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with RES_REGEN_FIXTURES=1",
+            path.display()
+        )
+    });
     assert_eq!(
         golden.trim_end(),
         rendered,

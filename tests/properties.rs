@@ -12,7 +12,7 @@ use proptest_mini::{
 use res_debugger::isa::{BinOp, UnOp};
 use res_debugger::machine::{Machine, MachineConfig, Memory, Outcome, SchedPolicy};
 use res_debugger::prelude::*;
-use res_debugger::symbolic::{Expr, Interval, Model, SolveResult, Solver};
+use res_debugger::symbolic::{Expr, Interval, Model, SolveResult, Solver, SolverSession};
 
 /// The expression simplifier never changes semantics: evaluating the
 /// simplified tree equals evaluating the original operation.
@@ -24,10 +24,23 @@ fn simplifier_preserves_binop_semantics() {
         &triple(any_u64(), any_u64(), usize_range(0, 17)),
         |&(a, b, op_idx)| {
             let ops = [
-                BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::DivU, BinOp::RemU,
-                BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Shl, BinOp::Shr,
-                BinOp::Sar, BinOp::Eq, BinOp::Ne, BinOp::LtU, BinOp::LeU,
-                BinOp::LtS, BinOp::LeS,
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::DivU,
+                BinOp::RemU,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+                BinOp::Shl,
+                BinOp::Shr,
+                BinOp::Sar,
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::LtU,
+                BinOp::LeU,
+                BinOp::LtS,
+                BinOp::LeS,
             ];
             let op = ops[op_idx];
             let e = Expr::bin(op, Expr::konst(a), Expr::konst(b));
@@ -52,7 +65,10 @@ fn simplifier_identities_sound() {
             let sym = Expr::sym(0);
             let lookup = |_: u32| Some(x);
             for (e, expected) in [
-                (Expr::bin(BinOp::Add, sym.clone(), Expr::konst(c)), x.wrapping_add(c)),
+                (
+                    Expr::bin(BinOp::Add, sym.clone(), Expr::konst(c)),
+                    x.wrapping_add(c),
+                ),
                 (Expr::bin(BinOp::Xor, sym.clone(), sym.clone()), 0),
                 (Expr::bin(BinOp::Sub, sym.clone(), sym.clone()), 0),
                 (Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, sym.clone())), x),
@@ -95,6 +111,47 @@ fn solver_models_are_witnesses() {
     );
 }
 
+/// The memoizing session is transparent: over random constraint sets,
+/// a cached answer always equals what a fresh solver would say, and
+/// re-asking the same set is a cache hit.
+#[test]
+fn solver_session_cache_is_transparent() {
+    check(
+        "solver_session_cache_is_transparent",
+        &Config::new(),
+        &triple(vec_of(any_u64(), 1, 4), any_u64(), usize_range(0, 5)),
+        |(consts, x, op_idx)| {
+            let ops = [
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::LtU,
+                BinOp::LeU,
+                BinOp::LtS,
+                BinOp::LeS,
+            ];
+            let cs: Vec<_> = consts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    Expr::bin(
+                        ops[*op_idx],
+                        Expr::bin(BinOp::Add, Expr::sym((i % 2) as u32), Expr::konst(c)),
+                        Expr::konst(*x),
+                    )
+                })
+                .collect();
+            let session = SolverSession::new();
+            let first = session.check(&cs);
+            let second = session.check(&cs);
+            let fresh = Solver::new().check(&cs);
+            prop_assert_eq!(format!("{first:?}"), format!("{fresh:?}"));
+            prop_assert_eq!(format!("{second:?}"), format!("{fresh:?}"));
+            prop_assert!(session.stats().cache_hits >= 1);
+            Ok(())
+        },
+    );
+}
+
 /// Interval refinement never *adds* values: refined ⊆ original.
 #[test]
 fn interval_refinement_shrinks() {
@@ -105,8 +162,11 @@ fn interval_refinement_shrinks() {
         |&(lo, hi, v)| {
             let iv = Interval::new(lo.min(hi), lo.max(hi));
             for refined in [
-                iv.refine_lt(v), iv.refine_le(v), iv.refine_gt(v),
-                iv.refine_ge(v), iv.refine_ne(v),
+                iv.refine_lt(v),
+                iv.refine_le(v),
+                iv.refine_gt(v),
+                iv.refine_ge(v),
+                iv.refine_ne(v),
             ] {
                 prop_assert!(refined.count() <= iv.count());
                 if !refined.is_empty() {
@@ -145,13 +205,19 @@ fn machine_is_deterministic() {
         |&(seed, switch)| {
             let p = build_workload(
                 BugKind::DataRace,
-                WorkloadParams { prefix_iters: 3, hash_rounds: 1 },
+                WorkloadParams {
+                    prefix_iters: 3,
+                    hash_rounds: 1,
+                },
             );
             let run = || {
                 let mut m = Machine::new(
                     p.clone(),
                     MachineConfig {
-                        sched: SchedPolicy::Random { seed, switch_per_mille: switch },
+                        sched: SchedPolicy::Random {
+                            seed,
+                            switch_per_mille: switch,
+                        },
                         max_steps: 200_000,
                         ..MachineConfig::default()
                     },
@@ -200,7 +266,10 @@ fn synthesis_replay_round_trip() {
         |&prefix| {
             let p = build_workload(
                 BugKind::DivByZero,
-                WorkloadParams { prefix_iters: prefix, hash_rounds: 1 },
+                WorkloadParams {
+                    prefix_iters: prefix,
+                    hash_rounds: 1,
+                },
             );
             let mut m = Machine::new(p.clone(), MachineConfig::default());
             let o = m.run();
@@ -211,7 +280,10 @@ fn synthesis_replay_round_trip() {
             let result = engine.synthesize(&d);
             let found = matches!(result.verdict, Verdict::SuffixFound);
             prop_assert!(found);
-            let ok = result.suffixes.iter().any(|s| replay_suffix(&p, &d, s).reproduced);
+            let ok = result
+                .suffixes
+                .iter()
+                .any(|s| replay_suffix(&p, &d, s).reproduced);
             prop_assert!(ok);
             Ok(())
         },

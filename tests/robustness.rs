@@ -1,10 +1,10 @@
 //! Robustness tests: misbehaving inputs, edge configurations, and the
 //! engine's honesty about divergence.
 
+use res_debugger::isa::BinOp;
 use res_debugger::machine::{LbrEntry, LbrRing, Machine, MachineConfig};
 use res_debugger::prelude::*;
 use res_debugger::symbolic::{Expr, SolveResult, Solver, SolverConfig};
-use res_debugger::isa::BinOp;
 
 #[test]
 fn lbr_filtered_recording_matches_engine_expectations() {
@@ -33,7 +33,11 @@ fn lbr_filtered_recording_matches_engine_expectations() {
         },
     );
     let result = engine.synthesize(&d);
-    assert!(matches!(result.verdict, Verdict::SuffixFound), "{:?}", result.stats);
+    assert!(
+        matches!(result.verdict, Verdict::SuffixFound),
+        "{:?}",
+        result.stats
+    );
     assert!(result
         .suffixes
         .iter()
@@ -111,7 +115,11 @@ fn lbr_ring_model_matches_hardware_semantics() {
         ring.record(mk(b, b % 2 == 0));
     }
     let got: Vec<u32> = ring.entries().map(|e| e.from.block.0).collect();
-    assert_eq!(got, vec![3, 5], "filtered ring keeps last essential entries");
+    assert_eq!(
+        got,
+        vec![3, 5],
+        "filtered ring keeps last essential entries"
+    );
 }
 
 #[test]
@@ -155,6 +163,9 @@ fn corpus_reports_are_self_consistent() {
         // The seed re-derives the same failure deterministically.
         let m = res_debugger::workloads::run_to_failure(&r.program, r.seed).expect("re-fails");
         let d2 = Coredump::capture(&m);
-        assert_eq!(res_debugger::coredump::diff_dumps(&r.dump, &d2, 8).is_empty(), true);
+        assert_eq!(
+            res_debugger::coredump::diff_dumps(&r.dump, &d2, 8).is_empty(),
+            true
+        );
     }
 }

@@ -1,0 +1,82 @@
+//! Golden-fixture regression for the default exploration order.
+//!
+//! `FrontierKind::Dfs` (the default) must reproduce the engine's
+//! historical worklist order exactly: the fixture under
+//! `tests/fixtures/` was generated *before* the kernel refactor, so a
+//! byte-identical match proves the pluggable-frontier seam did not
+//! perturb which suffixes are found, in what order, or what they
+//! contain.
+//!
+//! To regenerate after an *intentional* search-order change:
+//!
+//! ```text
+//! RES_REGEN_FIXTURES=1 cargo test --test suffix_golden
+//! ```
+
+use std::path::PathBuf;
+
+use res_debugger::prelude::*;
+use res_debugger::workloads::run_to_failure;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Deterministic crash scenario (same as the JSON golden tests): a
+/// short single-threaded DivByZero workload, input-free up to the
+/// faulting divide.
+fn crash() -> (Program, Coredump) {
+    let program = build_workload(
+        BugKind::DivByZero,
+        WorkloadParams {
+            prefix_iters: 2,
+            hash_rounds: 1,
+        },
+    );
+    let machine = (0..500)
+        .find_map(|s| run_to_failure(&program, s))
+        .expect("DivByZero workload must fault");
+    let dump = Coredump::capture(&machine);
+    (program, dump)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("RES_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, format!("{rendered}\n")).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with RES_REGEN_FIXTURES=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden.trim_end(),
+        rendered,
+        "fixture {name} drifted: the default (Dfs) exploration order no \
+         longer matches the pre-refactor engine; if the change is \
+         intentional, regenerate with RES_REGEN_FIXTURES=1"
+    );
+}
+
+/// The default config must synthesize byte-identical suffixes, in the
+/// same order, as the pre-refactor engine did.
+#[test]
+fn default_dfs_suffixes_match_pre_refactor_fixture() {
+    let (program, dump) = crash();
+    let engine = ResEngine::new(&program, ResConfig::default());
+    let result = engine.synthesize(&dump);
+    let mut rendered = String::new();
+    rendered.push_str(&format!("verdict: {:?}\n", result.verdict));
+    rendered.push_str(&format!("suffixes: {}\n", result.suffixes.len()));
+    for (i, s) in result.suffixes.iter().enumerate() {
+        rendered.push_str(&format!("--- suffix {i} ---\n{s:?}\n"));
+        let replay = replay_suffix(&program, &dump, s);
+        rendered.push_str(&format!("replayed: {}\n", replay.reproduced));
+    }
+    check_golden("suffix_dfs.txt", rendered.trim_end());
+}

@@ -17,6 +17,8 @@
 //! costs come back as [`KernelStats`]. E3 therefore compares the two
 //! *algorithms* under identical accounting, not two bespoke harnesses.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mvm_core::Minidump;
 use mvm_isa::{Loc, Program};
 use mvm_machine::{
@@ -49,6 +51,12 @@ pub struct ForwardConfig {
     pub solver: SolverConfig,
     /// Base seed.
     pub seed: u64,
+    /// Parallel scan workers, mirroring `ResConfig::workers` so E3
+    /// compares the algorithms under identical parallel accounting.
+    /// Worker `w` of `N` scans candidate indices `w, w + N, w + 2N, …`;
+    /// the reported witness is always the *lowest* matching index —
+    /// exactly what the sequential scan finds — regardless of timing.
+    pub workers: usize,
 }
 
 impl Default for ForwardConfig {
@@ -63,6 +71,7 @@ impl Default for ForwardConfig {
             frontier: FrontierKind::Dfs,
             solver: SolverConfig::default(),
             seed: 42,
+            workers: 1,
         }
     }
 }
@@ -111,10 +120,11 @@ fn stack_fingerprint(stack: &[Loc]) -> u64 {
 }
 
 /// One candidate execution, identified by its position in the seed
-/// sequence. Candidates form a linear chain: expanding node `i` runs
-/// candidate `i` and yields node `i + 1`.
+/// sequence. Within one worker, candidates form a linear chain:
+/// expanding the node at global index `i` runs candidate `i` and yields
+/// the node at `i + workers` (stride 1 for the sequential scan).
 struct FwdNode {
-    /// Next candidate index to run.
+    /// Next candidate index to run (global, across all workers).
     index: u64,
     /// Seed of a reproducing candidate found on the path to this node.
     witness: Option<u64>,
@@ -126,6 +136,12 @@ struct ForwardDriver<'a> {
     goal_prints: [u64; 2],
     config: &'a ForwardConfig,
     session: SolverSession,
+    /// This worker's stride through the candidate indices.
+    stride: u64,
+    /// Lowest matching candidate index found by *any* worker
+    /// (`u64::MAX` until one matches). Workers publish matches here and
+    /// stop once no index they could still try can beat it.
+    best: &'a AtomicU64,
     candidates_tried: u64,
     total_steps: u64,
 }
@@ -163,6 +179,12 @@ impl HypothesisGen for ForwardDriver<'_> {
 
     fn generate(&mut self, node: &FwdNode) -> Vec<u64> {
         if node.witness.is_some() || node.index >= self.config.budget.max_nodes {
+            return Vec::new();
+        }
+        // Another worker already matched at a lower index than anything
+        // this chain can still reach: no candidate here can change the
+        // (minimum-index) outcome, so stop scanning.
+        if self.best.load(Ordering::SeqCst) < node.index {
             return Vec::new();
         }
         vec![self.seed_for(node.index)]
@@ -203,6 +225,7 @@ impl StateTransform for ForwardDriver<'_> {
             if self.matches_goal(observed) {
                 stats.accepted += 1;
                 witness = Some(seed);
+                self.best.fetch_min(node.index, Ordering::SeqCst);
             } else {
                 // Faulted, but not the goal failure: rejected by the
                 // compatibility check.
@@ -214,10 +237,10 @@ impl StateTransform for ForwardDriver<'_> {
         }
 
         // The chain always continues: the child either carries the
-        // witness (and finalizes on its expansion) or moves on to the
-        // next candidate.
+        // witness (and finalizes on its expansion) or moves on to this
+        // worker's next candidate.
         let child = FwdNode {
-            index: node.index + 1,
+            index: node.index + self.stride,
             witness,
         };
         let score = NodeScore {
@@ -256,7 +279,67 @@ impl ForwardSynthesizer {
     /// A candidate matches when it faults with the same fault class at
     /// the same program counter with the same call stack — the
     /// information a minidump contains.
+    ///
+    /// With `workers > 1` the candidate indices are scanned by residue
+    /// class across OS threads. `found` and `witness_seed` are
+    /// deterministic (always the lowest matching index, as in the
+    /// sequential scan); the effort counters (`candidates_tried`,
+    /// `total_steps`, kernel stats) are sums over whatever each worker
+    /// ran before the early-stop reached it, so they may vary run to
+    /// run when a witness exists.
     pub fn synthesize(&self, program: &Program, goal: &Minidump) -> ForwardResult {
+        let workers = self.config.workers.max(1);
+        let best = AtomicU64::new(u64::MAX);
+        if workers == 1 {
+            return self.scan_class(program, goal, 0, 1, &best);
+        }
+        let results: Vec<ForwardResult> = std::thread::scope(|scope| {
+            let best = &best;
+            let this = &*self;
+            let handles: Vec<_> = (0..workers as u64)
+                .map(|w| {
+                    scope.spawn(move || this.scan_class(program, goal, w, workers as u64, best))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("forward-ES worker panicked"))
+                .collect()
+        });
+        let mut merged = ForwardResult {
+            found: false,
+            candidates_tried: 0,
+            total_steps: 0,
+            witness_seed: None,
+            stats: KernelStats::default(),
+        };
+        for r in &results {
+            merged.candidates_tried += r.candidates_tried;
+            merged.total_steps += r.total_steps;
+            merged.stats.absorb(&r.stats);
+        }
+        let min = best.load(Ordering::SeqCst);
+        if min != u64::MAX {
+            merged.found = true;
+            merged.witness_seed =
+                Some(self.config.seed.wrapping_add(min.wrapping_mul(0x9e37_79b9)));
+            // A witness exists, so per-class exhaustion is not a cut of
+            // the overall search.
+            merged.stats.cut = None;
+        }
+        merged
+    }
+
+    /// Runs one worker's scan over candidate indices `worker, worker +
+    /// stride, …` below the cap, publishing matches to `best`.
+    fn scan_class(
+        &self,
+        program: &Program,
+        goal: &Minidump,
+        worker: u64,
+        stride: u64,
+        best: &AtomicU64,
+    ) -> ForwardResult {
         let mut driver = ForwardDriver {
             program,
             goal_prints: [
@@ -265,6 +348,8 @@ impl ForwardSynthesizer {
             ],
             config: &self.config,
             session: SolverSession::with_config(self.config.solver),
+            stride,
+            best,
             candidates_tried: 0,
             total_steps: 0,
         };
@@ -272,7 +357,9 @@ impl ForwardSynthesizer {
         // The node budget is enforced by `generate` (the candidate cap);
         // give the kernel two nodes of headroom so a witness found on
         // the very last candidate still gets its finalize expansion
-        // instead of being cut at the pop.
+        // instead of being cut at the pop. Node budgets count per
+        // worker, so a sharded scan divides the candidate cap naturally
+        // (each class holds at most `ceil(cap / stride)` indices).
         let explore_cfg = ExploreConfig {
             budget: Budget {
                 max_nodes: cap.saturating_add(2),
@@ -284,7 +371,7 @@ impl ForwardSynthesizer {
         let mut frontier = self.config.frontier.build();
         let mut stats = KernelStats::default();
         let root = FwdNode {
-            index: 0,
+            index: worker,
             witness: None,
         };
         let artifacts = explore(
@@ -296,10 +383,12 @@ impl ForwardSynthesizer {
         );
         stats.solver = driver.session.stats();
         let witness_seed = artifacts.first().copied();
-        if witness_seed.is_none() && stats.cut.is_none() {
+        if witness_seed.is_none() && stats.cut.is_none() && best.load(Ordering::SeqCst) == u64::MAX
+        {
             // The candidate cap is this harness's node budget; record
             // exhausting it as the cut rather than reporting a silently
-            // truncated search.
+            // truncated search. (Skipped when another worker matched:
+            // stopping early then is success, not exhaustion.)
             stats.cut = Some(CutReason::Nodes);
         }
         ForwardResult {
@@ -374,6 +463,33 @@ mod tests {
         // more than one candidate (and may fail outright).
         assert!(r.candidates_tried >= 1);
         assert!(r.total_steps > 0);
+    }
+
+    #[test]
+    fn parallel_scan_reports_the_sequential_witness() {
+        // A goal needing schedule re-discovery, so the witness usually
+        // sits at index > 0 and the early-stop logic is exercised.
+        let (p, goal) = goal_for(BugKind::AtomicityViolation, 10);
+        let base = ForwardConfig {
+            budget: Budget {
+                max_nodes: 64,
+                ..ForwardConfig::default().budget
+            },
+            ..ForwardConfig::default()
+        };
+        let sequential = ForwardSynthesizer::new(base.clone()).synthesize(&p, &goal);
+        for workers in [2, 4] {
+            let r = ForwardSynthesizer::new(ForwardConfig {
+                workers,
+                ..base.clone()
+            })
+            .synthesize(&p, &goal);
+            assert_eq!(r.found, sequential.found, "workers = {workers}");
+            assert_eq!(
+                r.witness_seed, sequential.witness_seed,
+                "parallel scan must report the lowest-index witness (workers = {workers})"
+            );
+        }
     }
 
     #[test]

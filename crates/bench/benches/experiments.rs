@@ -104,13 +104,12 @@ fn bench_a3_solver() {
         g.bench(&budget.to_string(), || {
             let engine = ResEngine::new(
                 &p,
-                ResConfig {
-                    solver: mvm_symbolic::SolverConfig {
+                ResConfig::builder()
+                    .solver(mvm_symbolic::SolverConfig {
                         max_assignments: budget,
                         ..mvm_symbolic::SolverConfig::default()
-                    },
-                    ..ResConfig::default()
-                },
+                    })
+                    .build(),
             );
             engine.synthesize(&d)
         });

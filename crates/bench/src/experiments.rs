@@ -15,6 +15,8 @@ use res_baselines::{
 use res_core::{
     analyze_root_cause,
     replay_suffix,
+    CutReason,
+    FrontierKind,
     ResConfig,
     ResEngine,
     RootCause,
@@ -192,11 +194,71 @@ pub fn e3_length_sweep() -> Experiment {
     let res_ratio = res_times.last().unwrap() / res_times.first().unwrap().max(1e-9);
     let fwd_ratio =
         *fwd_steps.last().unwrap() as f64 / (*fwd_steps.first().unwrap() as f64).max(1.0);
-    let shape = fwd_ratio > 100.0 && res_ratio < 20.0;
+    let mut shape = fwd_ratio > 100.0 && res_ratio < 20.0;
     let _ = writeln!(
         table,
         "growth over sweep: RES time ×{res_ratio:.1}, forward-ES steps ×{fwd_ratio:.0}"
     );
+
+    // Worker sweep: both algorithms under identical parallel
+    // accounting. RES speculates with N sharded workers then replays
+    // sequentially — the suffixes must be byte-identical at every
+    // worker count (the shape check); wall clock and the speculative
+    // node counts are informational (speedup needs spare cores).
+    let params = WorkloadParams {
+        prefix_iters: 10_000,
+        ..WorkloadParams::default()
+    };
+    let (p, d) = fail_dump(BugKind::DivByZero, params);
+    let goal = Minidump::from_coredump(&d);
+    let _ = writeln!(
+        table,
+        "\nworkers | RES time | speedup | spec nodes | cache entries | suffixes identical | fwd-ES time\n\
+         --------+----------+---------+------------+---------------+--------------------+------------"
+    );
+    let mut golden: Option<String> = None;
+    let mut base_time = 0.0f64;
+    for workers in [1usize, 2, 4] {
+        let engine = ResEngine::new(&p, ResConfig::builder().workers(workers).build());
+        let t0 = Instant::now();
+        let result = engine.synthesize(&d);
+        let res_time = t0.elapsed().as_secs_f64();
+        if workers == 1 {
+            base_time = res_time;
+        }
+        let rendering = format!("{:?}", result.suffixes);
+        let identical = match &golden {
+            None => {
+                golden = Some(rendering);
+                true
+            }
+            Some(g) => *g == rendering,
+        };
+        shape &= identical;
+        let (spec_nodes, cache_entries) = result
+            .parallel
+            .as_ref()
+            .map(|r| (r.speculative.nodes_expanded, r.cache_entries))
+            .unwrap_or((0, 0));
+        let fwd_cfg = ForwardConfig {
+            workers,
+            ..ForwardConfig::default()
+        };
+        let t1 = Instant::now();
+        let _ = ForwardSynthesizer::new(fwd_cfg).synthesize(&p, &goal);
+        let fwd_time = t1.elapsed().as_secs_f64();
+        let _ = writeln!(
+            table,
+            "{:>7} | {:>6.1}ms | {:>6.2}x | {:>10} | {:>13} | {:>18} | {:>8.1}ms",
+            workers,
+            res_time * 1000.0,
+            base_time / res_time.max(1e-9),
+            spec_nodes,
+            cache_entries,
+            if identical { "yes" } else { "NO" },
+            fwd_time * 1000.0
+        );
+    }
     Experiment {
         id: "E3",
         claim: "RES cost independent of execution length; forward ES scales with it",
@@ -275,12 +337,11 @@ pub fn e4_breadcrumbs() -> Experiment {
     );
     let mut hyps = Vec::new();
     for (name, use_lbr) in [("none", false), ("LBR-16", true)] {
-        let config = ResConfig {
-            use_lbr,
-            max_suffixes: 8,
-            max_depth: 16,
-            ..ResConfig::default()
-        };
+        let config = ResConfig::builder()
+            .use_lbr(use_lbr)
+            .max_suffixes(8)
+            .max_depth(16)
+            .build();
         let engine = ResEngine::new(&p, config);
         let result = engine.synthesize(&d);
         hyps.push(result.stats.hypotheses);
@@ -293,10 +354,54 @@ pub fn e4_breadcrumbs() -> Experiment {
             result.stats.rejected_lbr
         );
     }
-    let shape = hyps[1] < hyps[0];
+    let mut shape = hyps[1] < hyps[0];
+
+    // Frontier × worker sweep over the same dump: exploration order
+    // changes how many nodes the authoritative replay expands; worker
+    // count must not (replay is sequential — extra workers only warm
+    // the solver cache, so `replay nodes` must be constant along each
+    // row, the added shape check).
+    let _ = writeln!(
+        table,
+        "\nfrontier  | workers | replay nodes | spec nodes | suffixes\n\
+         ----------+---------+--------------+------------+---------"
+    );
+    for kind in [
+        FrontierKind::Dfs,
+        FrontierKind::Bfs,
+        FrontierKind::BestFirst,
+    ] {
+        let mut baseline_nodes: Option<u64> = None;
+        for workers in [1usize, 2, 4] {
+            let config = ResConfig::builder()
+                .frontier(kind)
+                .workers(workers)
+                .max_suffixes(8)
+                .max_depth(16)
+                .build();
+            let engine = ResEngine::new(&p, config);
+            let result = engine.synthesize(&d);
+            let nodes = result.stats.nodes_expanded;
+            shape &= *baseline_nodes.get_or_insert(nodes) == nodes;
+            let spec = result
+                .parallel
+                .as_ref()
+                .map(|r| r.speculative.nodes_expanded)
+                .unwrap_or(0);
+            let _ = writeln!(
+                table,
+                "{:<9} | {:>7} | {:>12} | {:>10} | {:>8}",
+                format!("{kind:?}"),
+                workers,
+                nodes,
+                spec,
+                result.suffixes.len()
+            );
+        }
+    }
     Experiment {
         id: "E4",
-        claim: "LBR breadcrumbs substantially trim the suffix search space",
+        claim: "LBR breadcrumbs trim the search; worker count never changes the replayed search",
         table,
         shape_holds: shape,
     }
@@ -494,13 +599,7 @@ pub fn e9_suffix_budget() -> Experiment {
         let d = Coredump::capture(&m);
         let mut row = format!("{dist:>28} |");
         for budget in [4usize, 8, 16] {
-            let engine = ResEngine::new(
-                &p,
-                ResConfig {
-                    max_depth: budget,
-                    ..ResConfig::default()
-                },
-            );
+            let engine = ResEngine::new(&p, ResConfig::builder().max_depth(budget).build());
             let result = engine.synthesize(&d);
             // The root cause (the `store 1`) is in the window iff some
             // reproducing suffix contains the entry block.
@@ -551,11 +650,10 @@ pub fn e10_hard_constructs() -> Experiment {
     ] {
         let engine = ResEngine::new(
             &p,
-            ResConfig {
-                hyp_max_steps: budget,
-                max_depth: 8,
-                ..ResConfig::default()
-            },
+            ResConfig::builder()
+                .hyp_max_steps(budget)
+                .max_depth(8)
+                .build(),
         );
         let result = engine.synthesize(&d);
         let did = result.suffixes.iter().any(|s| {
@@ -629,11 +727,10 @@ pub fn a1_overapprox_ablation() -> Experiment {
     for (name, skip) in [("on", false), ("off (ablated)", true)] {
         let engine = ResEngine::new(
             &p,
-            ResConfig {
-                skip_compat_check: skip,
-                max_suffixes: 8,
-                ..ResConfig::default()
-            },
+            ResConfig::builder()
+                .skip_compat_check(skip)
+                .max_suffixes(8)
+                .build(),
         );
         let result = engine.synthesize(&d);
         let verified = result
@@ -672,11 +769,10 @@ pub fn a2_dump_vs_minidump() -> Experiment {
     for (name, opaque) in [("full coredump", false), ("minidump only", true)] {
         let engine = ResEngine::new(
             &p,
-            ResConfig {
-                opaque_memory: opaque,
-                max_suffixes: 8,
-                ..ResConfig::default()
-            },
+            ResConfig::builder()
+                .opaque_memory(opaque)
+                .max_suffixes(8)
+                .build(),
         );
         let result = engine.synthesize(&d);
         let verified = result
@@ -715,13 +811,12 @@ pub fn a3_solver_budget() -> Experiment {
     for budget in [20u64, 500, 20_000] {
         let engine = ResEngine::new(
             &p,
-            ResConfig {
-                solver: mvm_symbolic::SolverConfig {
+            ResConfig::builder()
+                .solver(mvm_symbolic::SolverConfig {
                     max_assignments: budget,
                     ..mvm_symbolic::SolverConfig::default()
-                },
-                ..ResConfig::default()
-            },
+                })
+                .build(),
         );
         let t0 = Instant::now();
         let result = engine.synthesize(&d);
@@ -758,6 +853,61 @@ pub fn a3_solver_budget() -> Experiment {
     }
 }
 
+/// E12 — bounded wall clock: an expired deadline is a reported cut with
+/// a well-formed partial result, not a hang or a bogus verdict.
+pub fn e12_deadline() -> Experiment {
+    let (p, d) = fail_dump(
+        BugKind::DivByZero,
+        WorkloadParams {
+            prefix_iters: 10_000,
+            ..WorkloadParams::default()
+        },
+    );
+    let mut table = String::from(
+        "deadline | verdict      | cut      | suffixes | abandoned nodes\n\
+         ---------+--------------+----------+----------+----------------\n",
+    );
+    let mut shape = true;
+    for (name, deadline) in [("0ms", Some(std::time::Duration::ZERO)), ("none", None)] {
+        let engine = ResEngine::new(&p, ResConfig::builder().deadline(deadline).build());
+        let result = engine.synthesize(&d);
+        let verdict = match result.verdict {
+            Verdict::SuffixFound => "suffix found",
+            Verdict::NoFeasibleSuffix { .. } => "no suffix",
+            Verdict::BudgetExhausted => "budget out",
+        };
+        if deadline.is_some() {
+            // The partial result must be well-formed: the cut recorded,
+            // the abandoned frontier accounted, no half-built suffixes.
+            shape &= result.stats.cut == Some(CutReason::Deadline)
+                && matches!(result.verdict, Verdict::BudgetExhausted)
+                && result.suffixes.is_empty()
+                && result.stats.abandoned.nodes >= 1;
+        } else {
+            shape &= matches!(result.verdict, Verdict::SuffixFound) && result.stats.cut.is_none();
+        }
+        let _ = writeln!(
+            table,
+            "{:<8} | {:<12} | {:<8} | {:>8} | {:>15}",
+            name,
+            verdict,
+            result
+                .stats
+                .cut
+                .map(|c| format!("{c:?}"))
+                .unwrap_or_else(|| "-".into()),
+            result.suffixes.len(),
+            result.stats.abandoned.nodes
+        );
+    }
+    Experiment {
+        id: "E12",
+        claim: "an expired deadline yields CutReason::Deadline and a well-formed partial result",
+        table,
+        shape_holds: shape,
+    }
+}
+
 /// Runs every experiment in order.
 pub fn run_all() -> Vec<Experiment> {
     vec![
@@ -772,6 +922,7 @@ pub fn run_all() -> Vec<Experiment> {
         e9_suffix_budget(),
         e10_hard_constructs(),
         e11_replay_determinism(),
+        e12_deadline(),
         a1_overapprox_ablation(),
         a2_dump_vs_minidump(),
         a3_solver_budget(),

@@ -55,9 +55,10 @@ pub enum HwVerdict {
 }
 
 /// Candidate relaxation sites for localization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Relax {
     /// No relaxation (plain synthesis).
+    #[default]
     None,
     /// Treat this memory word as unknown.
     Mem {

@@ -13,7 +13,10 @@
 //! * [`frontier`] — pluggable exploration orders ([`Dfs`] is
 //!   byte-identical to the historical engine; [`Bfs`] and [`BestFirst`]
 //!   are alternatives).
-//! * [`stats`] — [`KernelStats`], superseding `SearchStats`.
+//! * [`sharded`] — [`ShardedFrontier`], a deterministic first-branch
+//!   partitioner that gives N speculative workers disjoint subtrees.
+//! * [`stats`] — [`KernelStats`] plus [`ParallelReport`] for sharded
+//!   runs.
 //! * the trait seams below — hypothesis generation
 //!   ([`HypothesisGen`]), state transformation ([`StateTransform`]:
 //!   havoc + forward exec), artifact completion ([`Finalize`]), and the
@@ -24,11 +27,13 @@
 
 pub mod budget;
 pub mod frontier;
+pub mod sharded;
 pub mod stats;
 
 pub use budget::{Budget, BudgetMeter, CutReason};
 pub use frontier::{BestFirst, Bfs, Dfs, Frontier, FrontierKind, NodeScore};
-pub use stats::{AbandonedSpace, KernelStats};
+pub use sharded::ShardedFrontier;
+pub use stats::{AbandonedSpace, KernelStats, ParallelReport};
 
 use mvm_symbolic::{ExprRef, SolveResult, SolverSession, UnknownReason};
 

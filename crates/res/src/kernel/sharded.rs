@@ -1,0 +1,159 @@
+//! Deterministic frontier sharding for speculative parallel search.
+//!
+//! A [`ShardedFrontier`] gives worker `w` of `n` its own disjoint slice
+//! of the search tree without any cross-worker communication: every
+//! worker runs the identical deterministic exploration from the same
+//! root, and the first time an expansion produces two or more surviving
+//! children — the first genuine branch — each worker keeps only the
+//! children whose *enumeration index* `i` satisfies `i % n == w` and
+//! silently drops the rest. Below the split point the worker owns its
+//! subtrees outright, so the shards partition the branch's descendants
+//! exactly, with a stable tie-break (enumeration order) that does not
+//! depend on timing, scores, or node contents.
+//!
+//! Single-child expansions before the branch pass through unsharded:
+//! the backward search's root often has exactly one viable predecessor
+//! hypothesis (the faulting thread's partial block), and splitting
+//! there would idle every worker but one.
+//!
+//! Sharding composes with any inner [`Frontier`]; within its shard a
+//! worker still explores in the inner frontier's order.
+
+use super::frontier::{Frontier, NodeScore};
+
+/// A [`Frontier`] adapter that keeps only worker `worker`'s share of
+/// the first branch's children (see the module docs for the rule).
+pub struct ShardedFrontier<N> {
+    inner: Box<dyn Frontier<N>>,
+    worker: usize,
+    workers: usize,
+    split_done: bool,
+}
+
+impl<N> ShardedFrontier<N> {
+    /// Wraps `inner` as worker `worker` of `workers`.
+    ///
+    /// With `workers <= 1` the adapter is a transparent pass-through.
+    pub fn new(inner: Box<dyn Frontier<N>>, worker: usize, workers: usize) -> Self {
+        assert!(workers == 0 || worker < workers, "worker id out of range");
+        ShardedFrontier {
+            inner,
+            worker,
+            workers,
+            split_done: workers <= 1,
+        }
+    }
+
+    /// `true` once the first branch has been sharded (always `true` for
+    /// a single worker).
+    pub fn split_done(&self) -> bool {
+        self.split_done
+    }
+}
+
+impl<N> Frontier<N> for ShardedFrontier<N> {
+    fn extend(&mut self, children: Vec<(NodeScore, N)>) {
+        if !self.split_done && children.len() >= 2 {
+            self.split_done = true;
+            let kept: Vec<(NodeScore, N)> = children
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % self.workers == self.worker)
+                .map(|(_, c)| c)
+                .collect();
+            self.inner.extend(kept);
+            return;
+        }
+        self.inner.extend(children);
+    }
+
+    fn pop(&mut self) -> Option<(NodeScore, N)> {
+        self.inner.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn drain(&mut self) -> Vec<(NodeScore, N)> {
+        self.inner.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::frontier::{Dfs, FrontierKind};
+
+    fn scored(tag: u32) -> (NodeScore, u32) {
+        (NodeScore::default(), tag)
+    }
+
+    #[test]
+    fn splits_first_branch_by_enumeration_index() {
+        let mut shards: Vec<ShardedFrontier<u32>> = (0..3)
+            .map(|w| ShardedFrontier::new(Box::new(Dfs::new()), w, 3))
+            .collect();
+        let children: Vec<Vec<u32>> = shards
+            .iter_mut()
+            .map(|f| {
+                // Pre-branch single-child extends pass through whole.
+                f.extend(vec![scored(100)]);
+                assert_eq!(f.pop().unwrap().1, 100);
+                assert!(!f.split_done());
+                f.extend(vec![scored(0), scored(1), scored(2), scored(3), scored(4)]);
+                assert!(f.split_done());
+                std::iter::from_fn(|| f.pop()).map(|(_, n)| n).collect()
+            })
+            .collect();
+        let mut all: Vec<u32> = children.iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, vec![0, 1, 2, 3, 4], "shards partition the branch");
+        assert!(children[0].contains(&0) && children[0].contains(&3));
+        assert!(children[1].contains(&1) && children[1].contains(&4));
+        assert_eq!(children[2], vec![2]);
+    }
+
+    #[test]
+    fn post_split_extends_are_unsharded() {
+        let mut f = ShardedFrontier::new(Box::new(Dfs::new()), 1, 2);
+        f.extend(vec![scored(0), scored(1)]);
+        assert_eq!(f.len(), 1, "kept only index 1");
+        f.extend(vec![scored(10), scored(11), scored(12)]);
+        assert_eq!(f.len(), 4, "below the split the worker owns everything");
+    }
+
+    #[test]
+    fn single_worker_is_transparent() {
+        let mut plain = Dfs::new();
+        let mut sharded = ShardedFrontier::new(Box::new(Dfs::new()), 0, 1);
+        assert!(sharded.split_done());
+        for f in [&mut plain as &mut dyn Frontier<u32>, &mut sharded] {
+            f.extend(vec![scored(7), scored(8), scored(9)]);
+        }
+        loop {
+            let a = plain.pop();
+            let b = sharded.pop();
+            assert_eq!(a.map(|x| x.1), b.map(|x| x.1));
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn composes_with_any_inner_frontier() {
+        for kind in [
+            FrontierKind::Dfs,
+            FrontierKind::Bfs,
+            FrontierKind::BestFirst,
+        ] {
+            let mut f = ShardedFrontier::new(kind.build::<u32>(), 0, 2);
+            f.extend(vec![scored(0), scored(1), scored(2), scored(3)]);
+            let got: Vec<u32> = f.drain().into_iter().map(|(_, n)| n).collect();
+            let mut sorted = got.clone();
+            sorted.sort();
+            assert_eq!(sorted, vec![0, 2], "{kind:?}");
+        }
+    }
+}

@@ -45,10 +45,13 @@ pub mod suffix;
 pub mod symctx;
 
 pub use hwerr::{hardware_verdict, HwVerdict};
-pub use kernel::{AbandonedSpace, Budget, CutReason, FrontierKind, KernelStats, NodeScore};
+pub use kernel::{
+    AbandonedSpace, Budget, CutReason, FrontierKind, KernelStats, NodeScore, ParallelReport,
+    ShardedFrontier,
+};
 pub use replay::{replay_suffix, ReplayReport};
 pub use rootcause::{analyze_root_cause, RootCause};
-pub use search::{ResConfig, ResEngine, SearchStats, SynthesisResult, Verdict};
+pub use search::{ResConfig, ResConfigBuilder, ResEngine, SynthOptions, SynthesisResult, Verdict};
 pub use snapshot::Snapshot;
 pub use suffix::{ExecutionSuffix, SuffixStep};
 pub use symctx::{SymCtx, SymOrigin};

@@ -32,8 +32,9 @@ use mvm_symbolic::{ExprRef, Model, SolveResult, SolverConfig, SolverSession, Unk
 use crate::blockexec::{run_hypothesis, EndPoint, HypSpec, Infeasible, Tagged};
 use crate::hwerr::Relax;
 use crate::kernel::{
-    explore, Budget, CompatCheck, CompatVerdict, ExploreConfig, Finalize, FrontierKind,
-    HypothesisGen, KernelStats, NodeScore, SessionCompat, StateTransform,
+    explore, Budget, CompatCheck, CompatVerdict, ExploreConfig, Finalize, Frontier, FrontierKind,
+    HypothesisGen, KernelStats, NodeScore, ParallelReport, SessionCompat, ShardedFrontier,
+    StateTransform,
 };
 use crate::snapshot::Snapshot;
 use crate::suffix::{ExecutionSuffix, SuffixStep};
@@ -60,6 +61,12 @@ pub struct ResConfig {
     /// Exploration order; the default reproduces the engine's
     /// historical DFS byte-for-byte.
     pub frontier: FrontierKind,
+    /// Speculative search workers. `1` (the default) is the plain
+    /// sequential search; `N > 1` fans out N OS threads over disjoint
+    /// frontier shards to warm a portable solver cache, then replays
+    /// the exact sequential search over it — same suffixes, byte for
+    /// byte, for any `N` (see `DESIGN.md`, "The parallel kernel").
+    pub workers: usize,
     /// Solver budgets.
     pub solver: SolverConfig,
     /// Prune candidates against the dump's LBR ring.
@@ -89,6 +96,7 @@ impl Default for ResConfig {
             max_solver_assignments: None,
             deadline: None,
             frontier: FrontierKind::Dfs,
+            workers: 1,
             solver: SolverConfig::default(),
             use_lbr: false,
             lbr_filtered: false,
@@ -101,6 +109,11 @@ impl Default for ResConfig {
 }
 
 impl ResConfig {
+    /// Starts a fluent [`ResConfigBuilder`] over the default config.
+    pub fn builder() -> ResConfigBuilder {
+        ResConfigBuilder::default()
+    }
+
     /// The kernel [`Budget`] these knobs assemble into.
     pub fn budget(&self) -> Budget {
         Budget {
@@ -112,11 +125,168 @@ impl ResConfig {
     }
 }
 
-/// Search statistics — the currency of experiments E3, E4, and A1.
+/// Fluent constructor for [`ResConfig`] — the supported way to deviate
+/// from the defaults:
 ///
-/// Kept as an alias of [`KernelStats`] so pre-kernel callers compile
-/// unchanged; every historical field survives under its old name.
-pub type SearchStats = KernelStats;
+/// ```
+/// use res_core::search::ResConfig;
+/// use res_core::kernel::FrontierKind;
+///
+/// let config = ResConfig::builder()
+///     .max_depth(8)
+///     .frontier(FrontierKind::BestFirst)
+///     .workers(4)
+///     .use_lbr(true)
+///     .build();
+/// assert_eq!(config.workers, 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResConfigBuilder {
+    config: ResConfig,
+}
+
+impl ResConfigBuilder {
+    /// Maximum suffix length in block-granular steps.
+    pub fn max_depth(mut self, v: usize) -> Self {
+        self.config.max_depth = v;
+        self
+    }
+
+    /// Maximum search nodes expanded.
+    pub fn max_nodes(mut self, v: u64) -> Self {
+        self.config.max_nodes = v;
+        self
+    }
+
+    /// Stop after this many complete suffixes.
+    pub fn max_suffixes(mut self, v: usize) -> Self {
+        self.config.max_suffixes = v;
+        self
+    }
+
+    /// Per-hypothesis instruction budget.
+    pub fn hyp_max_steps(mut self, v: u64) -> Self {
+        self.config.hyp_max_steps = v;
+        self
+    }
+
+    /// Cumulative solver-assignment budget (`None` = unlimited).
+    pub fn max_solver_assignments(mut self, v: Option<u64>) -> Self {
+        self.config.max_solver_assignments = v;
+        self
+    }
+
+    /// Wall-clock deadline for the whole search.
+    pub fn deadline(mut self, v: Option<std::time::Duration>) -> Self {
+        self.config.deadline = v;
+        self
+    }
+
+    /// Sets every [`Budget`] dimension at once.
+    pub fn budget(mut self, b: Budget) -> Self {
+        self.config.max_nodes = b.max_nodes;
+        self.config.hyp_max_steps = b.hyp_max_steps;
+        self.config.max_solver_assignments = b.max_solver_assignments;
+        self.config.deadline = b.deadline;
+        self
+    }
+
+    /// Exploration order.
+    pub fn frontier(mut self, v: FrontierKind) -> Self {
+        self.config.frontier = v;
+        self
+    }
+
+    /// Speculative search workers (clamped to at least 1 at run time).
+    pub fn workers(mut self, v: usize) -> Self {
+        self.config.workers = v;
+        self
+    }
+
+    /// Solver budgets.
+    pub fn solver(mut self, v: SolverConfig) -> Self {
+        self.config.solver = v;
+        self
+    }
+
+    /// Prune candidates against the dump's LBR ring.
+    pub fn use_lbr(mut self, v: bool) -> Self {
+        self.config.use_lbr = v;
+        self
+    }
+
+    /// Match only offline-underivable transfers.
+    pub fn lbr_filtered(mut self, v: bool) -> Self {
+        self.config.lbr_filtered = v;
+        self
+    }
+
+    /// Prune candidates against the dump's error-log tail.
+    pub fn use_error_log(mut self, v: bool) -> Self {
+        self.config.use_error_log = v;
+        self
+    }
+
+    /// Consider cross-thread predecessor hypotheses.
+    pub fn cross_thread(mut self, v: bool) -> Self {
+        self.config.cross_thread = v;
+        self
+    }
+
+    /// Ablation A1: disable the `S' ⊇ Spost` check.
+    pub fn skip_compat_check(mut self, v: bool) -> Self {
+        self.config.skip_compat_check = v;
+        self
+    }
+
+    /// Ablation A2: minidump mode.
+    pub fn opaque_memory(mut self, v: bool) -> Self {
+        self.config.opaque_memory = v;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> ResConfig {
+        self.config
+    }
+}
+
+/// Per-call options for [`ResEngine::synthesize_with`].
+///
+/// ```
+/// use res_core::search::SynthOptions;
+/// use res_core::hwerr::Relax;
+///
+/// let opts = SynthOptions::new().relax(Relax::Mem { addr: 0x1000 }).workers(2);
+/// assert_eq!(opts.workers, Some(2));
+/// assert_eq!(opts.relax, Relax::Mem { addr: 0x1000 });
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthOptions {
+    /// Treat one dump location as unknown (the §3.2 localization probe).
+    pub relax: Relax,
+    /// Override the engine's configured worker count for this call.
+    pub workers: Option<usize>,
+}
+
+impl SynthOptions {
+    /// The defaults: no relaxation, the engine's configured workers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the relaxation.
+    pub fn relax(mut self, relax: Relax) -> Self {
+        self.relax = relax;
+        self
+    }
+
+    /// Overrides the worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+}
 
 /// The engine's overall verdict for a dump (paper §2.1: if no feasible
 /// path exists, "the coredump is likely due to hardware failure").
@@ -139,10 +309,12 @@ pub enum Verdict {
 pub struct SynthesisResult {
     /// Suffixes found, in discovery order.
     pub suffixes: Vec<ExecutionSuffix>,
-    /// Search statistics.
-    pub stats: SearchStats,
+    /// Search statistics (for a sharded run: the authoritative replay).
+    pub stats: KernelStats,
     /// Overall verdict.
     pub verdict: Verdict,
+    /// Speculative fan-out accounting; `None` for single-worker runs.
+    pub parallel: Option<ParallelReport>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,15 +386,170 @@ impl<'p> ResEngine<'p> {
     }
 
     /// Synthesizes execution suffixes for a coredump.
+    ///
+    /// Equivalent to [`synthesize_with`](ResEngine::synthesize_with)
+    /// with default [`SynthOptions`].
     pub fn synthesize(&self, dump: &Coredump) -> SynthesisResult {
-        self.synthesize_relaxed(dump, Relax::None)
+        self.synthesize_with(dump, SynthOptions::new())
     }
 
     /// Synthesizes with one dump location treated as unknown — the §3.2
     /// hardware-error localization probe.
+    ///
+    /// Equivalent to [`synthesize_with`](ResEngine::synthesize_with)
+    /// with only the relaxation set.
     pub fn synthesize_relaxed(&self, dump: &Coredump, relax: Relax) -> SynthesisResult {
-        let mut stats = SearchStats::default();
+        self.synthesize_with(dump, SynthOptions::new().relax(relax))
+    }
+
+    /// The synthesis entry point: every other `synthesize*` method is a
+    /// thin wrapper over this one.
+    ///
+    /// With an effective worker count of 1 this is the plain sequential
+    /// backward search. With `N > 1` it runs speculate-then-replay: N
+    /// OS threads explore disjoint frontier shards (each with its own
+    /// engine, symbol numbering, solver session, and a
+    /// [`Budget::slice`]d allowance), their renaming-equivariant solver
+    /// results are absorbed into this engine's session as an
+    /// α-canonical cache, and then the exact sequential search replays
+    /// over the warmed cache. The replay *is* the `workers = 1`
+    /// algorithm — same hypotheses, same symbol ids, same budget
+    /// accounting — so the returned suffixes are byte-identical for any
+    /// worker count; the fan-out only changes where solver time is
+    /// spent.
+    pub fn synthesize_with(&self, dump: &Coredump, opts: SynthOptions) -> SynthesisResult {
+        let workers = opts.workers.unwrap_or(self.config.workers).max(1);
+        let parallel = (workers > 1).then(|| self.speculate(dump, opts.relax, workers));
+        let mut result = self.replay(dump, opts.relax);
+        result.parallel = parallel;
+        result
+    }
+
+    /// Phase 1 of a sharded run: fan out `workers` speculative threads,
+    /// fold their stats, and absorb their portable solver caches into
+    /// this engine's session.
+    fn speculate(&self, dump: &Coredump, relax: Relax, workers: usize) -> ParallelReport {
+        // The worker threads must not capture `self` (the session's
+        // interior mutability is single-threaded); they get the shared
+        // immutable program plus a config clone and build their own
+        // engines.
+        let program = self.program;
+        let results: Vec<(KernelStats, mvm_symbolic::PortableCache)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let config = self.config.clone();
+                        scope.spawn(move || {
+                            let engine = ResEngine::new(program, config);
+                            engine.run_shard(dump, relax, w, workers)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("speculative worker panicked"))
+                    .collect()
+            });
+        let mut report = ParallelReport {
+            workers,
+            ..ParallelReport::default()
+        };
+        for (stats, cache) in &results {
+            report.per_worker_nodes.push(stats.nodes_expanded);
+            report.speculative.absorb(stats);
+            self.session.absorb(cache);
+        }
+        report.cache_entries = self.session.absorbed_len();
+        report
+    }
+
+    /// One speculative worker: the deterministic search over this
+    /// worker's frontier shard, discarding artifacts (they are built
+    /// from worker-local symbol ids) and exporting the portable slice
+    /// of the solver cache.
+    fn run_shard(
+        &self,
+        dump: &Coredump,
+        relax: Relax,
+        worker: usize,
+        workers: usize,
+    ) -> (KernelStats, mvm_symbolic::PortableCache) {
+        let mut stats = KernelStats::default();
+        let mut frontier = ShardedFrontier::new(self.config.frontier.build(), worker, workers);
+        let _ = self.explore_with(
+            dump,
+            relax,
+            self.config.budget().slice(workers),
+            &mut frontier,
+            &mut stats,
+        );
+        (stats, self.session.export_portable())
+    }
+
+    /// Phase 2 (and the whole of a single-worker run): the exact
+    /// sequential search.
+    fn replay(&self, dump: &Coredump, relax: Relax) -> SynthesisResult {
+        let mut stats = KernelStats::default();
+        let mut frontier = self.config.frontier.build();
+        let suffixes = self.explore_with(
+            dump,
+            relax,
+            self.config.budget(),
+            frontier.as_mut(),
+            &mut stats,
+        );
+        let verdict = if !suffixes.is_empty() {
+            Verdict::SuffixFound
+        } else if stats.cut.is_some() {
+            Verdict::BudgetExhausted
+        } else {
+            Verdict::NoFeasibleSuffix {
+                proven: stats.rejected_budget == 0
+                    && stats.unknown_accepted == 0
+                    && stats.finalize_failed == 0,
+            }
+        };
+        SynthesisResult {
+            suffixes,
+            stats,
+            verdict,
+            parallel: None,
+        }
+    }
+
+    /// Runs the kernel exploration from `dump`'s root node through the
+    /// given frontier under `budget`, attributing solver-session deltas
+    /// to `stats`.
+    fn explore_with(
+        &self,
+        dump: &Coredump,
+        relax: Relax,
+        budget: Budget,
+        frontier: &mut dyn Frontier<Node>,
+        stats: &mut KernelStats,
+    ) -> Vec<ExecutionSuffix> {
         let mut ctx = SymCtx::new();
+        let root = self.build_root(dump, relax, &mut ctx);
+        let session_before = self.session.stats();
+        let mut driver = SearchDriver {
+            engine: self,
+            dump,
+            ctx,
+            assignments_before: session_before.assignments,
+        };
+        let explore_config = ExploreConfig {
+            budget,
+            max_depth: self.config.max_depth,
+            max_artifacts: self.config.max_suffixes,
+        };
+        let suffixes = explore(&mut driver, root, &explore_config, frontier, stats);
+        stats.solver = self.session.stats().delta_since(&session_before);
+        suffixes
+    }
+
+    /// Builds the search root: the coredump's state with the configured
+    /// relaxation applied.
+    fn build_root(&self, dump: &Coredump, relax: Relax, ctx: &mut SymCtx) -> Node {
         let mut snap = Snapshot::from_coredump(dump);
         if self.config.opaque_memory {
             snap.set_opaque_base(true);
@@ -266,7 +593,7 @@ impl<'p> ResEngine<'p> {
                 snap.set_reg(tid, depth, reg, sym);
             }
         }
-        let root = Node {
+        Node {
             snap,
             constraints: Vec::new(),
             steps_rev: Vec::new(),
@@ -277,45 +604,6 @@ impl<'p> ResEngine<'p> {
             read_addrs: BTreeSet::new(),
             unknown_used: false,
             depth: 0,
-        };
-
-        let session_before = self.session.stats();
-        let mut driver = SearchDriver {
-            engine: self,
-            dump,
-            ctx,
-            assignments_before: session_before.assignments,
-        };
-        let explore_config = ExploreConfig {
-            budget: self.config.budget(),
-            max_depth: self.config.max_depth,
-            max_artifacts: self.config.max_suffixes,
-        };
-        let mut frontier = self.config.frontier.build();
-        let suffixes = explore(
-            &mut driver,
-            root,
-            &explore_config,
-            frontier.as_mut(),
-            &mut stats,
-        );
-        stats.solver = self.session.stats().delta_since(&session_before);
-
-        let verdict = if !suffixes.is_empty() {
-            Verdict::SuffixFound
-        } else if stats.cut.is_some() {
-            Verdict::BudgetExhausted
-        } else {
-            Verdict::NoFeasibleSuffix {
-                proven: stats.rejected_budget == 0
-                    && stats.unknown_accepted == 0
-                    && stats.finalize_failed == 0,
-            }
-        };
-        SynthesisResult {
-            suffixes,
-            stats,
-            verdict,
         }
     }
 
@@ -509,7 +797,7 @@ impl<'p> ResEngine<'p> {
         cand: &Candidate,
         dump: &Coredump,
         ctx: &mut SymCtx,
-        stats: &mut SearchStats,
+        stats: &mut KernelStats,
     ) -> Option<Node> {
         let base: Vec<ExprRef> = node.constraints.iter().map(|t| t.expr.clone()).collect();
         let spost_regs = node
@@ -708,7 +996,7 @@ impl<'p> ResEngine<'p> {
         &self,
         node: &Node,
         ctx: &SymCtx,
-        stats: &mut SearchStats,
+        stats: &mut KernelStats,
     ) -> Option<ExecutionSuffix> {
         if node.steps_rev.is_empty() {
             return None;

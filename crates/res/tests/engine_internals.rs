@@ -161,11 +161,10 @@ fn error_log_breadcrumbs_prune_and_constrain() {
     assert_eq!(d.error_log[0].value, 111);
     let engine = ResEngine::new(
         &p,
-        ResConfig {
-            use_error_log: true,
-            max_suffixes: 8,
-            ..ResConfig::default()
-        },
+        ResConfig::builder()
+            .use_error_log(true)
+            .max_suffixes(8)
+            .build(),
     );
     let result = engine.synthesize(&d);
     assert_eq!(result.verdict, Verdict::SuffixFound);
@@ -212,20 +211,12 @@ fn lbr_prunes_wrong_predecessors() {
     assert!(!d.lbr.is_empty());
     let without = ResEngine::new(
         &p,
-        ResConfig {
-            use_lbr: false,
-            max_suffixes: 8,
-            ..ResConfig::default()
-        },
+        ResConfig::builder().use_lbr(false).max_suffixes(8).build(),
     )
     .synthesize(&d);
     let with = ResEngine::new(
         &p,
-        ResConfig {
-            use_lbr: true,
-            max_suffixes: 8,
-            ..ResConfig::default()
-        },
+        ResConfig::builder().use_lbr(true).max_suffixes(8).build(),
     )
     .synthesize(&d);
     let via_b = p
@@ -375,21 +366,13 @@ fn opaque_memory_loses_disambiguation() {
         "#,
         MachineConfig::default(),
     );
-    let full = ResEngine::new(
-        &p,
-        ResConfig {
-            max_suffixes: 8,
-            ..ResConfig::default()
-        },
-    )
-    .synthesize(&d);
+    let full = ResEngine::new(&p, ResConfig::builder().max_suffixes(8).build()).synthesize(&d);
     let opaque = ResEngine::new(
         &p,
-        ResConfig {
-            opaque_memory: true,
-            max_suffixes: 8,
-            ..ResConfig::default()
-        },
+        ResConfig::builder()
+            .opaque_memory(true)
+            .max_suffixes(8)
+            .build(),
     )
     .synthesize(&d);
     let main = p.func_by_name("main").unwrap();

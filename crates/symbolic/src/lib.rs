@@ -24,12 +24,14 @@
 //! constraints themselves.
 
 pub mod expr;
+pub mod fingerprint;
 pub mod interval;
 pub mod model;
 pub mod session;
 pub mod solver;
 
 pub use expr::{Expr, ExprRef, SymId};
+pub use fingerprint::{canonical_key, CanonFp, PortableCache, PortableResult, PortableVerdict};
 pub use interval::Interval;
 pub use model::Model;
 pub use session::{SessionStats, SolverSession};

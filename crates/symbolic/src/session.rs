@@ -16,9 +16,10 @@
 //! budgets are charged against; cache hits cost zero, which is the point.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::expr::ExprRef;
+use crate::fingerprint::{canonical_key, CanonFp, PortableCache, PortableResult};
 use crate::solver::{SolveResult, Solver, SolverConfig, UnknownReason};
 
 /// Cumulative counters for one [`SolverSession`].
@@ -30,6 +31,10 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Queries that ran the underlying solver.
     pub cache_misses: u64,
+    /// Cache hits served by the absorbed (cross-session, α-canonical)
+    /// cache rather than the exact in-session memo. A subset of
+    /// `cache_hits`.
+    pub absorbed_hits: u64,
     /// Sat verdicts (counting cached replays).
     pub sat: u64,
     /// Unsat verdicts (counting cached replays).
@@ -38,7 +43,9 @@ pub struct SessionStats {
     pub unknown_budget: u64,
     /// Unknown verdicts caused by a theory gap.
     pub unknown_incomplete: u64,
-    /// Enumeration assignments spent by cache misses.
+    /// Enumeration assignments spent by cache misses (plus the replayed
+    /// cost of first-time absorbed hits, so budget accounting does not
+    /// depend on *which* session originally paid for a query).
     pub assignments: u64,
 }
 
@@ -50,12 +57,27 @@ impl SessionStats {
             queries: self.queries - earlier.queries,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
+            absorbed_hits: self.absorbed_hits - earlier.absorbed_hits,
             sat: self.sat - earlier.sat,
             unsat: self.unsat - earlier.unsat,
             unknown_budget: self.unknown_budget - earlier.unknown_budget,
             unknown_incomplete: self.unknown_incomplete - earlier.unknown_incomplete,
             assignments: self.assignments - earlier.assignments,
         }
+    }
+
+    /// Counter-wise sum, for rolling per-worker sessions into one
+    /// report.
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.absorbed_hits += other.absorbed_hits;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown_budget += other.unknown_budget;
+        self.unknown_incomplete += other.unknown_incomplete;
+        self.assignments += other.assignments;
     }
 
     /// Cache hit rate in `[0, 1]`; 0 when no queries ran.
@@ -77,7 +99,13 @@ impl SessionStats {
 #[derive(Debug, Default)]
 pub struct SolverSession {
     solver: Solver,
-    cache: RefCell<HashMap<Vec<ExprRef>, SolveResult>>,
+    /// Exact memo: constraint sequence → (result, original assignment
+    /// cost, renaming-equivariant?).
+    cache: RefCell<HashMap<Vec<ExprRef>, (SolveResult, u64, bool)>>,
+    /// Cross-session cache absorbed from other sessions' portable
+    /// exports, keyed by α-canonical fingerprint. Consulted only after
+    /// the exact memo misses.
+    absorbed: RefCell<HashMap<CanonFp, PortableResult>>,
     stats: RefCell<SessionStats>,
 }
 
@@ -112,21 +140,82 @@ impl SolverSession {
     pub fn check(&self, constraints: &[ExprRef]) -> SolveResult {
         let mut stats = self.stats.borrow_mut();
         stats.queries += 1;
-        if let Some(hit) = self.cache.borrow().get(constraints) {
+        if let Some((hit, _, _)) = self.cache.borrow().get(constraints) {
             stats.cache_hits += 1;
             Self::tally(&mut stats, hit);
             return hit.clone();
         }
+        // Absorbed (α-canonical) lookup. The guard keeps the common
+        // single-session path free of canonicalization overhead.
+        if !self.absorbed.borrow().is_empty() {
+            let (fp, sorted_syms) = canonical_key(constraints);
+            let instantiated = self
+                .absorbed
+                .borrow()
+                .get(&fp)
+                .and_then(|p| Some((p.instantiate(&sorted_syms)?, p.assignments)));
+            if let Some((result, cost)) = instantiated {
+                stats.cache_hits += 1;
+                stats.absorbed_hits += 1;
+                // Charge the original enumeration cost so solver-budget
+                // enforcement matches a session that solved this query
+                // itself; repeats then hit the exact memo for free,
+                // exactly like a locally-solved query.
+                stats.assignments += cost;
+                Self::tally(&mut stats, &result);
+                self.cache
+                    .borrow_mut()
+                    .insert(constraints.to_vec(), (result.clone(), cost, true));
+                return result;
+            }
+        }
         stats.cache_misses += 1;
         drop(stats);
-        let (result, used) = self.solver.check_counted(constraints);
+        let (result, used, portable) = self.solver.check_classified(constraints);
         let mut stats = self.stats.borrow_mut();
         stats.assignments += used;
         Self::tally(&mut stats, &result);
         self.cache
             .borrow_mut()
-            .insert(constraints.to_vec(), result.clone());
+            .insert(constraints.to_vec(), (result.clone(), used, portable));
         result
+    }
+
+    /// Exports every renaming-equivariant cached result as an
+    /// α-canonical [`PortableCache`], deduplicated by fingerprint and in
+    /// deterministic (fingerprint) order. The export contains no
+    /// [`ExprRef`]s, so it can cross threads.
+    pub fn export_portable(&self) -> PortableCache {
+        let mut by_fp: BTreeMap<CanonFp, PortableResult> = BTreeMap::new();
+        for (key, (result, assignments, portable)) in self.cache.borrow().iter() {
+            if !portable {
+                continue;
+            }
+            let (fp, sorted_syms) = canonical_key(key);
+            if let Some(p) = PortableResult::from_result(result, *assignments, &sorted_syms) {
+                by_fp.entry(fp).or_insert(p);
+            }
+        }
+        PortableCache {
+            entries: by_fp.into_iter().collect(),
+        }
+    }
+
+    /// Merges another session's portable export into this session's
+    /// absorbed cache. On fingerprint collision between absorptions the
+    /// first entry wins; by equivariance the entries are identical
+    /// anyway (modulo the ~2⁻¹²⁸ hash-collision risk, which
+    /// [`PortableResult::instantiate`]'s rank guard partially covers).
+    pub fn absorb(&self, export: &PortableCache) {
+        let mut absorbed = self.absorbed.borrow_mut();
+        for (fp, p) in &export.entries {
+            absorbed.entry(*fp).or_insert_with(|| p.clone());
+        }
+    }
+
+    /// Number of entries in the absorbed (cross-session) cache.
+    pub fn absorbed_len(&self) -> usize {
+        self.absorbed.borrow().len()
     }
 
     /// Memoized [`Solver::solve`]: check and demand a model.
@@ -242,6 +331,90 @@ mod tests {
         assert!(r.is_unknown(), "tiny budget must not decide: {r:?}");
         let st = session.stats();
         assert_eq!(st.unknown_budget + st.unknown_incomplete, 1);
+    }
+
+    #[test]
+    fn absorbed_cache_shares_portable_answers_across_renaming() {
+        let a = SolverSession::new();
+        // Propagation-decided → portable.
+        let q_a = vec![eq(
+            Expr::bin(BinOp::Add, Expr::sym(3), Expr::konst(5)),
+            Expr::konst(12),
+        )];
+        a.check(&q_a);
+        let export = a.export_portable();
+        assert!(!export.is_empty(), "portable result must be exported");
+
+        let b = SolverSession::new();
+        b.absorb(&export);
+        assert_eq!(b.absorbed_len(), export.len());
+        // Same query, different symbol numbering.
+        let q_b = vec![eq(
+            Expr::bin(BinOp::Add, Expr::sym(41), Expr::konst(5)),
+            Expr::konst(12),
+        )];
+        let r = b.check(&q_b);
+        assert_eq!(r.model().unwrap().get(41), Some(7), "renamed witness");
+        let st = b.stats();
+        assert_eq!(st.queries, 1);
+        assert_eq!(st.cache_hits, 1, "absorbed hit counts as a hit");
+        assert_eq!(st.absorbed_hits, 1);
+        assert_eq!(st.cache_misses, 0);
+        // The absorbed answer is now in the exact memo: a repeat is an
+        // ordinary hit, not a second absorbed hit.
+        b.check(&q_b);
+        assert_eq!(b.stats().absorbed_hits, 1);
+        assert_eq!(b.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn absorbed_hits_replay_the_original_assignment_cost() {
+        let a = SolverSession::new();
+        // Complete-domain enumeration → portable, with nonzero cost.
+        let q_a = vec![
+            Expr::bin(BinOp::LtU, Expr::sym(0), Expr::konst(4)),
+            eq(
+                Expr::bin(BinOp::Mul, Expr::sym(0), Expr::sym(0)),
+                Expr::konst(9),
+            ),
+        ];
+        a.check(&q_a);
+        let original_cost = a.assignments_spent();
+        assert!(original_cost > 0, "enumeration must cost assignments");
+
+        let b = SolverSession::new();
+        b.absorb(&a.export_portable());
+        let q_b = vec![
+            Expr::bin(BinOp::LtU, Expr::sym(9), Expr::konst(4)),
+            eq(
+                Expr::bin(BinOp::Mul, Expr::sym(9), Expr::sym(9)),
+                Expr::konst(9),
+            ),
+        ];
+        let r = b.check(&q_b);
+        assert_eq!(r.model().unwrap().get(9), Some(3));
+        assert_eq!(
+            b.assignments_spent(),
+            original_cost,
+            "first absorbed hit charges what a fresh solve would have"
+        );
+        b.check(&q_b);
+        assert_eq!(b.assignments_spent(), original_cost, "repeats are free");
+    }
+
+    #[test]
+    fn probe_based_results_stay_private() {
+        let session = SolverSession::new();
+        // Unbounded domain → probe candidates → not renaming-equivariant.
+        let q = vec![eq(
+            Expr::bin(BinOp::And, Expr::sym(0), Expr::konst(0xf0)),
+            Expr::konst(0x30),
+        )];
+        assert!(session.check(&q).is_sat());
+        assert!(
+            session.export_portable().is_empty(),
+            "probe-seeded results must not be exported"
+        );
     }
 
     #[test]

@@ -239,13 +239,29 @@ impl Solver {
     /// alone decided the query). This is the currency the kernel-level
     /// solver budget is denominated in.
     pub fn check_counted(&self, constraints: &[ExprRef]) -> (SolveResult, u64) {
+        let (result, used, _) = self.check_classified(constraints);
+        (result, used)
+    }
+
+    /// Like [`check_counted`](Solver::check_counted), plus a *portable*
+    /// flag: `true` when the verdict is renaming-equivariant — renaming
+    /// the query's symbols by any monotone map and re-solving would
+    /// return the identically-renamed verdict at the same assignment
+    /// cost. That holds when propagation alone decided the query, or
+    /// when enumeration ran over complete finite domains (candidates
+    /// are then whole intervals and the search order is the sorted
+    /// symbol order, both structure-only). It does *not* hold once
+    /// probe candidates enter, because probes are seeded from raw
+    /// [`SymId`]s. Portable results may be shared across
+    /// differently-numbered sessions (see `crate::fingerprint`).
+    pub fn check_classified(&self, constraints: &[ExprRef]) -> (SolveResult, u64, bool) {
         let mut st = State {
             bindings: BTreeMap::new(),
             intervals: BTreeMap::new(),
             constraints: constraints.to_vec(),
         };
         match self.propagate(&mut st) {
-            Err(()) => return (SolveResult::Unsat, 0),
+            Err(()) => return (SolveResult::Unsat, 0, true),
             Ok(()) => {}
         }
         if st.constraints.is_empty() {
@@ -259,7 +275,7 @@ impl Solver {
                     model.set(s, iv.lo);
                 }
             }
-            return (SolveResult::Sat(model), 0);
+            return (SolveResult::Sat(model), 0, true);
         }
         self.enumerate(st)
     }
@@ -401,7 +417,7 @@ impl Solver {
         }
     }
 
-    fn enumerate(&self, st: State) -> (SolveResult, u64) {
+    fn enumerate(&self, st: State) -> (SolveResult, u64, bool) {
         // Free symbols of the residual constraints.
         let mut syms: BTreeSet<SymId> = BTreeSet::new();
         for c in &st.constraints {
@@ -411,7 +427,7 @@ impl Solver {
         if syms.is_empty() {
             // Residual constraints with no symbols should have folded;
             // if they didn't, that's a theory gap, not a budget issue.
-            return (SolveResult::Unknown(UnknownReason::Incomplete), 0);
+            return (SolveResult::Unknown(UnknownReason::Incomplete), 0, true);
         }
         // Seed constants from the constraints.
         let mut seeds: BTreeSet<u64> = BTreeSet::new();
@@ -491,7 +507,11 @@ impl Solver {
             // not have helped, the probe set just missed.
             None => SolveResult::Unknown(UnknownReason::Incomplete),
         };
-        (result, used)
+        // With complete domains no probe candidates exist, so the whole
+        // enumeration (order, forced values, budget spend, witness) is a
+        // function of constraint structure alone → portable. A budget
+        // cut is still portable: the renamed run cuts at the same point.
+        (result, used, complete)
     }
 
     /// Checks whether any constraint, specialized to the current partial

@@ -18,6 +18,17 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> parallel determinism gate (golden suffix fixture at 1, 2, 4 workers)"
+# The sharded kernel's contract: any worker count synthesizes
+# byte-identical suffixes. Run the golden fixture test under each
+# worker count — the fixture file is the same, so any divergence is a
+# byte-for-byte diff failure.
+for workers in 1 2 4; do
+    echo "    RES_WORKERS=$workers"
+    RES_WORKERS=$workers cargo test -q --test suffix_golden \
+        default_dfs_suffixes_match_pre_refactor_fixture
+done
+
 echo "==> hermetic dependency check"
 "$repo_root/scripts/check_hermetic.sh"
 

@@ -80,9 +80,12 @@ pub mod prelude {
         replay_suffix,
         ExecutionSuffix,
         HwVerdict,
+        ParallelReport,
         ResConfig,
+        ResConfigBuilder,
         ResEngine,
         RootCause,
+        SynthOptions,
         Verdict, //
     };
     pub use res_workloads::{build as build_workload, BugKind, WorkloadParams};

@@ -26,11 +26,10 @@ fn lbr_filtered_recording_matches_engine_expectations() {
     assert!(d.lbr.iter().all(|e| !e.inferrable));
     let engine = ResEngine::new(
         &p,
-        ResConfig {
-            use_lbr: true,
-            lbr_filtered: true,
-            ..ResConfig::default()
-        },
+        ResConfig::builder()
+            .use_lbr(true)
+            .lbr_filtered(true)
+            .build(),
     );
     let result = engine.synthesize(&d);
     assert!(
@@ -132,11 +131,10 @@ fn engine_survives_minimal_and_maximal_budgets() {
     for (depth, nodes) in [(1usize, 1u64), (2, 2), (64, 50_000)] {
         let engine = ResEngine::new(
             &p,
-            ResConfig {
-                max_depth: depth,
-                max_nodes: nodes,
-                ..ResConfig::default()
-            },
+            ResConfig::builder()
+                .max_depth(depth)
+                .max_nodes(nodes)
+                .build(),
         );
         let result = engine.synthesize(&d);
         match result.verdict {

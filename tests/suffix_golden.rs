@@ -63,12 +63,9 @@ fn check_golden(name: &str, rendered: &str) {
     );
 }
 
-/// The default config must synthesize byte-identical suffixes, in the
-/// same order, as the pre-refactor engine did.
-#[test]
-fn default_dfs_suffixes_match_pre_refactor_fixture() {
+fn render(workers: usize) -> String {
     let (program, dump) = crash();
-    let engine = ResEngine::new(&program, ResConfig::default());
+    let engine = ResEngine::new(&program, ResConfig::builder().workers(workers).build());
     let result = engine.synthesize(&dump);
     let mut rendered = String::new();
     rendered.push_str(&format!("verdict: {:?}\n", result.verdict));
@@ -78,5 +75,35 @@ fn default_dfs_suffixes_match_pre_refactor_fixture() {
         let replay = replay_suffix(&program, &dump, s);
         rendered.push_str(&format!("replayed: {}\n", replay.reproduced));
     }
-    check_golden("suffix_dfs.txt", rendered.trim_end());
+    rendered.trim_end().to_string()
+}
+
+/// The default config must synthesize byte-identical suffixes, in the
+/// same order, as the pre-refactor engine did.
+///
+/// `RES_WORKERS=N` runs the same check through the sharded parallel
+/// path — the CI determinism gate loops this test over N ∈ {1, 2, 4}
+/// against the *same* fixture, proving the fan-out changes nothing.
+#[test]
+fn default_dfs_suffixes_match_pre_refactor_fixture() {
+    let workers = std::env::var("RES_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    check_golden("suffix_dfs.txt", &render(workers));
+}
+
+/// Sharded speculation must not perturb the result: any worker count
+/// yields byte-identical suffixes (the replay phase is the sequential
+/// algorithm; speculation only pre-warms the solver cache).
+#[test]
+fn sharded_workers_match_single_worker_suffixes() {
+    let golden = render(1);
+    for workers in [2usize, 4] {
+        assert_eq!(
+            render(workers),
+            golden,
+            "workers = {workers} diverged from the sequential search"
+        );
+    }
 }

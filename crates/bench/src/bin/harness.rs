@@ -22,6 +22,7 @@ fn run(id: &str) -> Option<Experiment> {
         "e10" => ex::e10_hard_constructs(),
         "e11" => ex::e11_replay_determinism(),
         "e12" => ex::e12_deadline(),
+        "e13" => ex::e13_store_warm(),
         "a1" => ex::a1_overapprox_ablation(),
         "a2" => ex::a2_dump_vs_minidump(),
         "a3" => ex::a3_solver_budget(),
@@ -54,7 +55,7 @@ fn main() {
             .filter_map(|a| {
                 let r = run(&a.to_lowercase());
                 if r.is_none() {
-                    eprintln!("unknown experiment id {a:?} (use e1..e12, a1..a3, all)");
+                    eprintln!("unknown experiment id {a:?} (use e1..e13, a1..a3, all)");
                 }
                 r
             })

@@ -908,6 +908,93 @@ pub fn e12_deadline() -> Experiment {
     }
 }
 
+/// E13 — the persistent cross-run store: a warm run over a populated
+/// store answers repeated solver queries from disk (absorbed-hit count
+/// > 0) yet synthesizes byte-identical suffixes to the cold run.
+pub fn e13_store_warm() -> Experiment {
+    let (p, d) = fail_dump(BugKind::UseAfterFree, WorkloadParams::default());
+    let dir = std::env::temp_dir().join(format!("res-e13-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("store.resstore");
+
+    // Store-less baseline: what a run without any persistence does.
+    let t0 = Instant::now();
+    let baseline = ResEngine::new(&p, ResConfig::default()).synthesize(&d);
+    let base_time = t0.elapsed();
+
+    // Cold: the store is missing; this run populates it.
+    let t1 = Instant::now();
+    let cold_engine = ResEngine::new(&p, ResConfig::builder().cache_path(&path).build());
+    let cold = cold_engine.synthesize(&d);
+    let cold_time = t1.elapsed();
+
+    // Warm: a fresh engine (fresh process, as far as the solver is
+    // concerned) absorbs the populated store before searching.
+    let t2 = Instant::now();
+    let warm_engine = ResEngine::new(&p, ResConfig::builder().cache_path(&path).build());
+    let warm = warm_engine.synthesize(&d);
+    let warm_time = t2.elapsed();
+
+    let golden = format!("{:?}", baseline.suffixes);
+    let mut table = String::from(
+        "run      | store entries in | store hits | appended | suffixes identical | solver h/m | time\n\
+         ---------+------------------+------------+----------+--------------------+------------+------\n",
+    );
+    let mut shape = true;
+    for (name, result, time) in [
+        ("no store", &baseline, base_time),
+        ("cold", &cold, cold_time),
+        ("warm", &warm, warm_time),
+    ] {
+        let identical = format!("{:?}", result.suffixes) == golden;
+        shape &= identical;
+        let (loaded, hits, appended) = result
+            .store
+            .as_ref()
+            .map(|s| (s.loaded_entries, s.store_hits, s.appended_entries))
+            .unwrap_or((0, 0, 0));
+        let _ = writeln!(
+            table,
+            "{:<8} | {:>16} | {:>10} | {:>8} | {:>18} | {:>10} | {:.0}ms",
+            name,
+            loaded,
+            hits,
+            appended,
+            if identical { "yes" } else { "NO" },
+            format!(
+                "{}/{}",
+                result.stats.solver.cache_hits, result.stats.solver.cache_misses
+            ),
+            time.as_secs_f64() * 1000.0
+        );
+    }
+    let cold_report = cold.store.expect("cold run has a store");
+    let warm_report = warm.store.expect("warm run has a store");
+    // The cold run starts empty, serves no store hits, and commits its
+    // results; the warm run loads them, serves hits, and (having run the
+    // identical deterministic search) has nothing new to append.
+    shape &= cold_report.store_hits == 0
+        && cold_report.appended_entries > 0
+        && cold_report.committed
+        && warm_report.loaded_entries > 0
+        && warm_report.store_hits > 0
+        && warm_report.appended_entries == 0;
+    let _ = writeln!(
+        table,
+        "cold {:.0}ms vs warm {:.0}ms wall clock; store {} entries on disk",
+        cold_time.as_secs_f64() * 1000.0,
+        warm_time.as_secs_f64() * 1000.0,
+        warm_report.loaded_entries,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Experiment {
+        id: "E13",
+        claim: "a warm store serves cross-run solver hits; suffixes stay byte-identical",
+        table,
+        shape_holds: shape,
+    }
+}
+
 /// Runs every experiment in order.
 pub fn run_all() -> Vec<Experiment> {
     vec![
@@ -923,6 +1010,7 @@ pub fn run_all() -> Vec<Experiment> {
         e10_hard_constructs(),
         e11_replay_determinism(),
         e12_deadline(),
+        e13_store_warm(),
         a1_overapprox_ablation(),
         a2_dump_vs_minidump(),
         a3_solver_budget(),

@@ -51,7 +51,9 @@ pub use kernel::{
 };
 pub use replay::{replay_suffix, ReplayReport};
 pub use rootcause::{analyze_root_cause, RootCause};
-pub use search::{ResConfig, ResConfigBuilder, ResEngine, SynthOptions, SynthesisResult, Verdict};
+pub use search::{
+    ResConfig, ResConfigBuilder, ResEngine, StoreReport, SynthOptions, SynthesisResult, Verdict,
+};
 pub use snapshot::Snapshot;
 pub use suffix::{ExecutionSuffix, SuffixStep};
 pub use symctx::{SymCtx, SymOrigin};

@@ -14,7 +14,9 @@
 //! suffix's control transfers nearest the failure must match the dump's
 //! LBR ring, and error-log emissions must match the retained log tail.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 
 use mvm_core::Coredump;
 use mvm_isa::{
@@ -28,6 +30,7 @@ use mvm_isa::{
 };
 use mvm_machine::ThreadId;
 use mvm_symbolic::{ExprRef, Model, SolveResult, SolverConfig, SolverSession, UnknownReason};
+use res_store::{program_fingerprint, LoadOutcome, SolverStore};
 
 use crate::blockexec::{run_hypothesis, EndPoint, HypSpec, Infeasible, Tagged};
 use crate::hwerr::Relax;
@@ -69,6 +72,12 @@ pub struct ResConfig {
     pub workers: usize,
     /// Solver budgets.
     pub solver: SolverConfig,
+    /// Persistent cross-run solver-result store (`res-store`). The
+    /// engine absorbs the store before searching and appends every new
+    /// renaming-equivariant result after each `synthesize*` call.
+    /// Absorbed entries replay their original enumeration cost, so a
+    /// warm run synthesizes byte-identical suffixes to a cold one.
+    pub cache_path: Option<PathBuf>,
     /// Prune candidates against the dump's LBR ring.
     pub use_lbr: bool,
     /// Match only offline-underivable transfers (the §2.4 LBR filtering
@@ -98,6 +107,7 @@ impl Default for ResConfig {
             frontier: FrontierKind::Dfs,
             workers: 1,
             solver: SolverConfig::default(),
+            cache_path: None,
             use_lbr: false,
             lbr_filtered: false,
             use_error_log: false,
@@ -203,9 +213,28 @@ impl ResConfigBuilder {
         self
     }
 
+    /// Sets the worker count from the machine's available parallelism,
+    /// clamped to `1..=8` (beyond that the speculative shards mostly
+    /// duplicate work). Determinism is unaffected — speculate-then-
+    /// replay returns byte-identical suffixes for any worker count.
+    pub fn workers_auto(mut self) -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.config.workers = n.clamp(1, 8);
+        self
+    }
+
     /// Solver budgets.
     pub fn solver(mut self, v: SolverConfig) -> Self {
         self.config.solver = v;
+        self
+    }
+
+    /// Persistent cross-run solver-result store (see
+    /// [`ResConfig::cache_path`]).
+    pub fn cache_path(mut self, p: impl Into<PathBuf>) -> Self {
+        self.config.cache_path = Some(p.into());
         self
     }
 
@@ -261,16 +290,21 @@ impl ResConfigBuilder {
 /// assert_eq!(opts.workers, Some(2));
 /// assert_eq!(opts.relax, Relax::Mem { addr: 0x1000 });
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SynthOptions {
     /// Treat one dump location as unknown (the §3.2 localization probe).
     pub relax: Relax,
     /// Override the engine's configured worker count for this call.
     pub workers: Option<usize>,
+    /// Use a persistent store at this path for this call only,
+    /// overriding any engine-level [`ResConfig::cache_path`]: absorbed
+    /// before the search, new entries committed after.
+    pub cache_path: Option<PathBuf>,
 }
 
 impl SynthOptions {
-    /// The defaults: no relaxation, the engine's configured workers.
+    /// The defaults: no relaxation, the engine's configured workers,
+    /// the engine's configured store.
     pub fn new() -> Self {
         Self::default()
     }
@@ -284,6 +318,12 @@ impl SynthOptions {
     /// Overrides the worker count.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Overrides the persistent store for this call.
+    pub fn cache_path(mut self, p: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(p.into());
         self
     }
 }
@@ -315,6 +355,28 @@ pub struct SynthesisResult {
     pub verdict: Verdict,
     /// Speculative fan-out accounting; `None` for single-worker runs.
     pub parallel: Option<ParallelReport>,
+    /// Persistent-store accounting; `None` when no store is configured.
+    pub store: Option<StoreReport>,
+}
+
+/// What the persistent cross-run store contributed to (and received
+/// from) one synthesis call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreReport {
+    /// How the store's on-disk bytes were classified when opened. Every
+    /// outcome other than [`LoadOutcome::Loaded`] means this call
+    /// started cold.
+    pub outcome: LoadOutcome,
+    /// Entries the store held when it was opened.
+    pub loaded_entries: usize,
+    /// New renaming-equivariant entries this call appended.
+    pub appended_entries: usize,
+    /// Solver queries this call answered from store-loaded entries.
+    pub store_hits: u64,
+    /// `false` when the post-call commit failed (I/O error) or the
+    /// store is read-only (program-fingerprint mismatch); the search
+    /// result itself is unaffected either way.
+    pub committed: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -359,17 +421,31 @@ pub struct ResEngine<'p> {
     callgraph: CallGraph,
     config: ResConfig,
     session: SolverSession,
+    /// The engine-level persistent store ([`ResConfig::cache_path`]),
+    /// opened once at construction and committed to after every
+    /// `synthesize*` call, so a corpus sweep over one engine shares a
+    /// single load and appends incrementally.
+    store: RefCell<Option<SolverStore>>,
 }
 
 impl<'p> ResEngine<'p> {
-    /// Builds an engine (CFGs and call graph are precomputed).
+    /// Builds an engine (CFGs and call graph are precomputed). When the
+    /// config names a [`cache_path`](ResConfig::cache_path), the store
+    /// is opened (any damage degrades to a cold start, never an error)
+    /// and absorbed into the solver session here.
     pub fn new(program: &'p Program, config: ResConfig) -> Self {
         let session = SolverSession::with_config(config.solver);
+        let store = config.cache_path.as_ref().map(|p| {
+            let store = SolverStore::open(p, program_fingerprint(program));
+            store.absorb_into(&session);
+            store
+        });
         ResEngine {
             program,
             callgraph: CallGraph::build(program),
             config,
             session,
+            store: RefCell::new(store),
         }
     }
 
@@ -419,10 +495,42 @@ impl<'p> ResEngine<'p> {
     /// spent.
     pub fn synthesize_with(&self, dump: &Coredump, opts: SynthOptions) -> SynthesisResult {
         let workers = opts.workers.unwrap_or(self.config.workers).max(1);
+        // A per-call store overrides the engine-level one for this call.
+        let mut call_store = opts.cache_path.as_ref().map(|p| {
+            let store = SolverStore::open(p, program_fingerprint(self.program));
+            store.absorb_into(&self.session);
+            store
+        });
+        let store_hits_before = self.session.stats().store_hits;
         let parallel = (workers > 1).then(|| self.speculate(dump, opts.relax, workers));
         let mut result = self.replay(dump, opts.relax);
         result.parallel = parallel;
+        result.store = self.export_to_store(call_store.as_mut(), store_hits_before);
         result
+    }
+
+    /// After a search: feed hit counts back to the active store, merge
+    /// the session's new renaming-equivariant results, and commit.
+    fn export_to_store(
+        &self,
+        call_store: Option<&mut SolverStore>,
+        store_hits_before: u64,
+    ) -> Option<StoreReport> {
+        let mut engine_store = self.store.borrow_mut();
+        let store = call_store.or(engine_store.as_mut())?;
+        let store_hits = self.session.stats().store_hits - store_hits_before;
+        let outcome = store.load_report().outcome;
+        let loaded_entries = store.load_report().entries_loaded;
+        store.note_hits(store_hits);
+        let appended_entries = store.merge(&self.session.export_portable());
+        let committed = !store.read_only() && store.commit().is_ok();
+        Some(StoreReport {
+            outcome,
+            loaded_entries,
+            appended_entries,
+            store_hits,
+            committed,
+        })
     }
 
     /// Phase 1 of a sharded run: fan out `workers` speculative threads,
@@ -514,6 +622,7 @@ impl<'p> ResEngine<'p> {
             stats,
             verdict,
             parallel: None,
+            store: None,
         }
     }
 

@@ -31,6 +31,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use mvm_json::{field, json_enum, json_struct, FromJson, Json, JsonError, ToJson};
+
 use crate::expr::{Expr, ExprRef, SymId};
 use crate::model::Model;
 use crate::solver::{SolveResult, UnknownReason};
@@ -38,6 +40,28 @@ use crate::solver::{SolveResult, UnknownReason};
 /// A 128-bit fingerprint of a canonicalized constraint sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CanonFp(pub u128);
+
+// JSON keeps integers at u64 precision, so the 128-bit fingerprint is
+// split into two words on the wire.
+impl ToJson for CanonFp {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("hi".to_string(), Json::U64((self.0 >> 64) as u64)),
+            ("lo".to_string(), Json::U64(self.0 as u64)),
+        ])
+    }
+}
+
+impl FromJson for CanonFp {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("CanonFp", v))?;
+        let hi: u64 = field(obj, "hi", "CanonFp")?;
+        let lo: u64 = field(obj, "lo", "CanonFp")?;
+        Ok(CanonFp(((hi as u128) << 64) | lo as u128))
+    }
+}
 
 /// Two independent FNV-1a accumulators, combined into 128 bits.
 struct Fnv2 {
@@ -131,6 +155,12 @@ pub enum PortableVerdict {
     Unknown(UnknownReason),
 }
 
+json_enum!(PortableVerdict {
+    Sat(Vec<(u32, u64)>),
+    Unsat,
+    Unknown(UnknownReason),
+});
+
 /// A renaming-equivariant solver result, exportable across threads.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortableResult {
@@ -142,6 +172,11 @@ pub struct PortableResult {
     /// imported.
     pub assignments: u64,
 }
+
+json_struct!(PortableResult {
+    verdict,
+    assignments
+});
 
 impl PortableResult {
     /// Renames `result` into rank space. Returns `None` when the model
@@ -199,6 +234,8 @@ pub struct PortableCache {
     /// `(fingerprint, result)` pairs, deduplicated per session.
     pub entries: Vec<(CanonFp, PortableResult)>,
 }
+
+json_struct!(PortableCache { entries });
 
 impl PortableCache {
     /// Number of entries.
@@ -279,6 +316,38 @@ mod tests {
             other => panic!("expected sat, got {other:?}"),
         }
         assert_eq!(p.assignments, 3);
+    }
+
+    #[test]
+    fn portable_results_round_trip_through_json() {
+        let cache = PortableCache {
+            entries: vec![
+                (
+                    CanonFp(u128::MAX - 7),
+                    PortableResult {
+                        verdict: PortableVerdict::Sat(vec![(0, u64::MAX), (1, 0)]),
+                        assignments: 42,
+                    },
+                ),
+                (
+                    CanonFp(3),
+                    PortableResult {
+                        verdict: PortableVerdict::Unsat,
+                        assignments: 0,
+                    },
+                ),
+                (
+                    CanonFp(9),
+                    PortableResult {
+                        verdict: PortableVerdict::Unknown(UnknownReason::Incomplete),
+                        assignments: 1,
+                    },
+                ),
+            ],
+        };
+        let text = mvm_json::to_string(&cache);
+        let back: PortableCache = mvm_json::from_str(&text).unwrap();
+        assert_eq!(back.entries, cache.entries);
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub struct SessionStats {
     /// cache rather than the exact in-session memo. A subset of
     /// `cache_hits`.
     pub absorbed_hits: u64,
+    /// Absorbed hits served by entries that came from a *persistent
+    /// cross-run store* (as opposed to a same-process speculative
+    /// worker). A subset of `absorbed_hits`; this is the counter the
+    /// warm-run experiments report, so cross-run reuse is never
+    /// conflated with intra-run memoization.
+    pub store_hits: u64,
     /// Sat verdicts (counting cached replays).
     pub sat: u64,
     /// Unsat verdicts (counting cached replays).
@@ -58,6 +64,7 @@ impl SessionStats {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             absorbed_hits: self.absorbed_hits - earlier.absorbed_hits,
+            store_hits: self.store_hits - earlier.store_hits,
             sat: self.sat - earlier.sat,
             unsat: self.unsat - earlier.unsat,
             unknown_budget: self.unknown_budget - earlier.unknown_budget,
@@ -73,6 +80,7 @@ impl SessionStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.absorbed_hits += other.absorbed_hits;
+        self.store_hits += other.store_hits;
         self.sat += other.sat;
         self.unsat += other.unsat;
         self.unknown_budget += other.unknown_budget;
@@ -103,10 +111,21 @@ pub struct SolverSession {
     /// cost, renaming-equivariant?).
     cache: RefCell<HashMap<Vec<ExprRef>, (SolveResult, u64, bool)>>,
     /// Cross-session cache absorbed from other sessions' portable
-    /// exports, keyed by α-canonical fingerprint. Consulted only after
-    /// the exact memo misses.
-    absorbed: RefCell<HashMap<CanonFp, PortableResult>>,
+    /// exports, keyed by α-canonical fingerprint and tagged with where
+    /// the entry came from. Consulted only after the exact memo misses.
+    absorbed: RefCell<HashMap<CanonFp, (PortableResult, AbsorbSource)>>,
     stats: RefCell<SessionStats>,
+}
+
+/// Where an absorbed cache entry originated. The distinction only
+/// affects accounting ([`SessionStats::store_hits`]); lookup semantics
+/// are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsorbSource {
+    /// A sibling session in this process (a speculative worker).
+    Worker,
+    /// A persistent cross-run store loaded from disk.
+    Store,
 }
 
 impl SolverSession {
@@ -153,10 +172,13 @@ impl SolverSession {
                 .absorbed
                 .borrow()
                 .get(&fp)
-                .and_then(|p| Some((p.instantiate(&sorted_syms)?, p.assignments)));
-            if let Some((result, cost)) = instantiated {
+                .and_then(|(p, src)| Some((p.instantiate(&sorted_syms)?, p.assignments, *src)));
+            if let Some((result, cost, source)) = instantiated {
                 stats.cache_hits += 1;
                 stats.absorbed_hits += 1;
+                if source == AbsorbSource::Store {
+                    stats.store_hits += 1;
+                }
                 // Charge the original enumeration cost so solver-budget
                 // enforcement matches a session that solved this query
                 // itself; repeats then hit the exact memo for free,
@@ -207,9 +229,22 @@ impl SolverSession {
     /// anyway (modulo the ~2⁻¹²⁸ hash-collision risk, which
     /// [`PortableResult::instantiate`]'s rank guard partially covers).
     pub fn absorb(&self, export: &PortableCache) {
+        self.absorb_from(export, AbsorbSource::Worker);
+    }
+
+    /// [`absorb`](SolverSession::absorb) for entries loaded from a
+    /// persistent cross-run store: hits they serve are additionally
+    /// counted in [`SessionStats::store_hits`].
+    pub fn absorb_from_store(&self, export: &PortableCache) {
+        self.absorb_from(export, AbsorbSource::Store);
+    }
+
+    /// Merges a portable export, tagging every newly-absorbed entry
+    /// with `source` for hit attribution.
+    pub fn absorb_from(&self, export: &PortableCache, source: AbsorbSource) {
         let mut absorbed = self.absorbed.borrow_mut();
         for (fp, p) in &export.entries {
-            absorbed.entry(*fp).or_insert_with(|| p.clone());
+            absorbed.entry(*fp).or_insert_with(|| (p.clone(), source));
         }
     }
 
@@ -400,6 +435,40 @@ mod tests {
         );
         b.check(&q_b);
         assert_eq!(b.assignments_spent(), original_cost, "repeats are free");
+    }
+
+    #[test]
+    fn store_hits_are_split_from_worker_absorbed_hits() {
+        let origin = SolverSession::new();
+        let q = |sym: u32| {
+            vec![eq(
+                Expr::bin(BinOp::Add, Expr::sym(sym), Expr::konst(5)),
+                Expr::konst(12),
+            )]
+        };
+        origin.check(&q(0));
+        let export = origin.export_portable();
+        assert!(!export.is_empty());
+
+        // Worker-absorbed: absorbed_hits ticks, store_hits does not.
+        let via_worker = SolverSession::new();
+        via_worker.absorb(&export);
+        via_worker.check(&q(17));
+        let st = via_worker.stats();
+        assert_eq!(st.absorbed_hits, 1);
+        assert_eq!(st.store_hits, 0);
+
+        // Store-absorbed: both tick.
+        let via_store = SolverSession::new();
+        via_store.absorb_from_store(&export);
+        via_store.check(&q(23));
+        let st = via_store.stats();
+        assert_eq!(st.absorbed_hits, 1);
+        assert_eq!(st.store_hits, 1);
+        // A repeat lands in the exact memo: a plain session hit.
+        via_store.check(&q(23));
+        assert_eq!(via_store.stats().store_hits, 1);
+        assert_eq!(via_store.stats().cache_hits, 2);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mvm_isa::{BinOp, UnOp};
+use mvm_json::json_enum;
 
 use crate::expr::{Expr, ExprRef, SymId};
 use crate::interval::Interval;
@@ -60,6 +61,11 @@ pub enum UnknownReason {
     /// (theory gap); no budget increase will help.
     Incomplete,
 }
+
+json_enum!(UnknownReason {
+    BudgetExhausted,
+    Incomplete
+});
 
 /// The outcome of a satisfiability check.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -41,6 +41,25 @@ pub fn res_bucket_keys(corpus: &[FailureReport], config: &ResConfig) -> Vec<Stri
         .collect()
 }
 
+/// [`res_bucket_keys`] backed by a shared persistent-store directory:
+/// each report's engine warms from (and appends to) its program's store
+/// file, so repeated reports of one program skip repeated solver work —
+/// across this call *and* across process runs. The keys are identical
+/// to the store-less ones (see `res-store`'s determinism argument).
+pub fn res_bucket_keys_shared(
+    corpus: &[FailureReport],
+    config: &ResConfig,
+    store_dir: &std::path::Path,
+) -> Vec<String> {
+    corpus
+        .iter()
+        .map(|r| {
+            let cfg = crate::store::with_shared_store(config, store_dir, &r.program);
+            res_bucket_key(&r.program, &r.dump, &cfg)
+        })
+        .collect()
+}
+
 /// Side-by-side triaging comparison on one corpus (experiment E5).
 #[derive(Debug, Clone)]
 pub struct TriageComparison {

@@ -156,6 +156,26 @@ pub fn consequential_sites(program: &Program, dump: &Coredump) -> (Vec<Reg>, Vec
 /// and register corruption at consequential sites, falling back to
 /// random sites), runs the filter, and scores it.
 pub fn filter_corpus(corpus: &[FailureReport], config: &ResConfig) -> HwFilterStudy {
+    filter_corpus_inner(corpus, config, None)
+}
+
+/// [`filter_corpus`] backed by a shared persistent-store directory —
+/// the same directory the §3.1 bucketing helpers use, so the relaxation
+/// sweep replays solver results the bucketing pass (or an earlier
+/// process) already paid for. Verdicts are identical either way.
+pub fn filter_corpus_shared(
+    corpus: &[FailureReport],
+    config: &ResConfig,
+    store_dir: &std::path::Path,
+) -> HwFilterStudy {
+    filter_corpus_inner(corpus, config, Some(store_dir))
+}
+
+fn filter_corpus_inner(
+    corpus: &[FailureReport],
+    config: &ResConfig,
+    store_dir: Option<&std::path::Path>,
+) -> HwFilterStudy {
     let mut study = HwFilterStudy::default();
     for (i, r) in corpus.iter().enumerate() {
         let corrupt = i % 2 == 1;
@@ -185,7 +205,13 @@ pub fn filter_corpus(corpus: &[FailureReport], config: &ResConfig) -> HwFilterSt
         } else {
             r.dump.clone()
         };
-        let verdict = hardware_verdict(&r.program, &dump, config);
+        let verdict = match store_dir {
+            Some(dir) => {
+                let cfg = crate::store::with_shared_store(config, dir, &r.program);
+                hardware_verdict(&r.program, &dump, &cfg)
+            }
+            None => hardware_verdict(&r.program, &dump, config),
+        };
         let flagged = matches!(verdict, HwVerdict::HardwareSuspected { .. });
         match (corrupt, flagged) {
             (true, true) => study.true_positives += 1,

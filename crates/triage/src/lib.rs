@@ -11,11 +11,17 @@
 //! * [`hwfilter`] — filter out failures that no feasible execution
 //!   explains (hardware errors) before they reach developers
 //!   (experiment E7).
+//! * [`store`] — shared persistent-store wiring: corpus helpers point
+//!   every report at a per-program store file inside one directory, so
+//!   bucketing and hardware filtering reuse each other's solver work,
+//!   within and across process runs (experiment E13).
 
 pub mod bucket;
 pub mod exploit;
 pub mod hwfilter;
+pub mod store;
 
-pub use bucket::{res_bucket_keys, triage_corpus, TriageComparison};
+pub use bucket::{res_bucket_keys, res_bucket_keys_shared, triage_corpus, TriageComparison};
 pub use exploit::{classify_with_res, exploitability_study, ExploitStudy};
-pub use hwfilter::{filter_corpus, HwFilterStudy};
+pub use hwfilter::{filter_corpus, filter_corpus_shared, HwFilterStudy};
+pub use store::{store_path_for, with_shared_store};

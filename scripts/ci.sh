@@ -29,6 +29,21 @@ for workers in 1 2 4; do
         default_dfs_suffixes_match_pre_refactor_fixture
 done
 
+echo "==> cross-run determinism gate (golden suffix fixture, cold then warm store)"
+# The persistent store's contract: a warm run absorbing a populated
+# store synthesizes byte-identical suffixes to a cold run. Run the
+# golden fixture test twice against one store file — the first run
+# populates it, the second answers solver queries from it; both must
+# match the very same cold golden fixture.
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$store_dir"' EXIT
+for pass in cold warm; do
+    echo "    RES_CACHE_PATH ($pass)"
+    RES_CACHE_PATH="$store_dir/ci.resstore" cargo test -q --test suffix_golden \
+        default_dfs_suffixes_match_pre_refactor_fixture
+done
+test -s "$store_dir/ci.resstore" || { echo "store was never populated"; exit 1; }
+
 echo "==> hermetic dependency check"
 "$repo_root/scripts/check_hermetic.sh"
 

@@ -16,6 +16,7 @@
 //! | [`coredump`] | `mvm-core` | coredump format, minidumps, fault injection |
 //! | [`symbolic`] | `mvm-symbolic` | expression DAG + constraint solver |
 //! | [`res`] | `res-core` | **the paper's contribution**: suffix search, replay, analyses |
+//! | [`store`] | `res-store` | persistent cross-run solver-result store |
 //! | [`baselines`] | `res-baselines` | forward ES, static slicing, record-replay, WER, !exploitable |
 //! | [`triage`] | `res-triage` | bucketing, exploitability, hardware filtering |
 //! | [`workloads`] | `res-workloads` | synthetic bug programs and corpora |
@@ -66,6 +67,7 @@ pub use mvm_machine as machine;
 pub use mvm_symbolic as symbolic;
 pub use res_baselines as baselines;
 pub use res_core as res;
+pub use res_store as store;
 pub use res_triage as triage;
 pub use res_workloads as workloads;
 
@@ -85,8 +87,10 @@ pub mod prelude {
         ResConfigBuilder,
         ResEngine,
         RootCause,
+        StoreReport,
         SynthOptions,
         Verdict, //
     };
+    pub use res_store::SolverStore;
     pub use res_workloads::{build as build_workload, BugKind, WorkloadParams};
 }

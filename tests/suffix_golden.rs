@@ -64,8 +64,16 @@ fn check_golden(name: &str, rendered: &str) {
 }
 
 fn render(workers: usize) -> String {
+    render_with(workers, None)
+}
+
+fn render_with(workers: usize, cache_path: Option<&std::path::Path>) -> String {
     let (program, dump) = crash();
-    let engine = ResEngine::new(&program, ResConfig::builder().workers(workers).build());
+    let mut builder = ResConfig::builder().workers(workers);
+    if let Some(p) = cache_path {
+        builder = builder.cache_path(p);
+    }
+    let engine = ResEngine::new(&program, builder.build());
     let result = engine.synthesize(&dump);
     let mut rendered = String::new();
     rendered.push_str(&format!("verdict: {:?}\n", result.verdict));
@@ -84,13 +92,40 @@ fn render(workers: usize) -> String {
 /// `RES_WORKERS=N` runs the same check through the sharded parallel
 /// path — the CI determinism gate loops this test over N ∈ {1, 2, 4}
 /// against the *same* fixture, proving the fan-out changes nothing.
+///
+/// `RES_CACHE_PATH=<file>` additionally routes the run through a
+/// persistent cross-run store at that path — the CI cross-run gate runs
+/// this test twice against one store file (cold, then warm) and both
+/// must match the very same fixture, proving that absorbing a populated
+/// store changes no synthesized byte.
 #[test]
 fn default_dfs_suffixes_match_pre_refactor_fixture() {
     let workers = std::env::var("RES_WORKERS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
-    check_golden("suffix_dfs.txt", &render(workers));
+    let cache_path = std::env::var_os("RES_CACHE_PATH").map(std::path::PathBuf::from);
+    check_golden(
+        "suffix_dfs.txt",
+        &render_with(workers, cache_path.as_deref()),
+    );
+}
+
+/// A warm store must not perturb the result: cold run, warm run, and
+/// store-less run synthesize byte-identical suffixes (absorbed entries
+/// replay their original solver cost, so budget cuts fire identically).
+#[test]
+fn warm_store_matches_cold_suffixes() {
+    let dir = std::env::temp_dir().join(format!("res-golden-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    let path = dir.join("suffix_golden.resstore");
+    let golden = render(1);
+    let cold = render_with(1, Some(&path));
+    let warm = render_with(1, Some(&path));
+    assert_eq!(cold, golden, "a cold store changed the synthesis");
+    assert_eq!(warm, golden, "a warm store changed the synthesis");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Sharded speculation must not perturb the result: any worker count

@@ -31,7 +31,7 @@ use mvm_machine::{
 use mvm_symbolic::{Expr, ExprRef, SolverConfig, SolverSession};
 use res_core::kernel::{
     explore, Budget, CompatCheck, CompatVerdict, CutReason, ExploreConfig, Finalize, FrontierKind,
-    HypothesisGen, KernelStats, NodeScore, SessionCompat, StateTransform,
+    HypothesisGen, KernelStats, NodeScore, Recorder, SessionCompat, StateTransform,
 };
 
 /// Forward-search configuration, expressed in the kernel's shared
@@ -380,6 +380,7 @@ impl ForwardSynthesizer {
             &explore_cfg,
             frontier.as_mut(),
             &mut stats,
+            &Recorder::disabled(),
         );
         stats.solver = driver.session.stats();
         let witness_seed = artifacts.first().copied();

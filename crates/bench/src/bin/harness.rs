@@ -4,9 +4,23 @@
 //! cargo run --release -p res-bench --bin harness            # all
 //! cargo run --release -p res-bench --bin harness -- e3 e5   # a subset
 //! ```
+//!
+//! With `RES_TRACE=<dir>` set, the harness writes metrics artifacts
+//! into `<dir>`: one `<id>.metrics.json` per experiment (id, claim,
+//! shape verdict, wall time) plus a `harness.jsonl` span journal —
+//! the raw numbers behind the EXPERIMENTS.md tables. (Note the engine
+//! and tests interpret `RES_TRACE` as a journal *file* path; the
+//! harness runs many experiments, so here it names a directory.)
 
+use mvm_json::json_struct;
 use res_bench::experiments as ex;
 use res_bench::Experiment;
+use res_obs::Recorder;
+
+const ALL_IDS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
+    "a3",
+];
 
 fn run(id: &str) -> Option<Experiment> {
     Some(match id {
@@ -46,21 +60,63 @@ fn print_experiment(e: &Experiment) {
     println!();
 }
 
+/// The per-experiment metrics artifact (`<id>.metrics.json`).
+#[derive(Debug, Clone, PartialEq)]
+struct Metrics {
+    id: String,
+    claim: String,
+    shape_holds: bool,
+    wall_ms: u64,
+}
+
+json_struct!(Metrics {
+    id,
+    claim,
+    shape_holds,
+    wall_ms
+});
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let results: Vec<Experiment> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        ex::run_all()
-    } else {
-        args.iter()
-            .filter_map(|a| {
-                let r = run(&a.to_lowercase());
-                if r.is_none() {
-                    eprintln!("unknown experiment id {a:?} (use e1..e13, a1..a3, all)");
-                }
-                r
-            })
-            .collect()
+    let trace_dir = std::env::var_os("RES_TRACE").map(std::path::PathBuf::from);
+    let recorder = match &trace_dir {
+        Some(dir) => Recorder::journal(dir.join("harness.jsonl")),
+        None => Recorder::disabled(),
     };
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.iter().map(|a| a.to_lowercase()).collect()
+    };
+    let mut results: Vec<Experiment> = Vec::new();
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let span = recorder.span(id);
+        let Some(e) = run(id) else {
+            drop(span);
+            eprintln!("unknown experiment id {id:?} (use e1..e13, a1..a3, all)");
+            continue;
+        };
+        drop(span);
+        recorder.counter("experiments", 1);
+        if e.shape_holds {
+            recorder.counter("shapes_hold", 1);
+        }
+        if let Some(dir) = &trace_dir {
+            let artifact = Metrics {
+                id: e.id.to_string(),
+                claim: e.claim.to_string(),
+                shape_holds: e.shape_holds,
+                wall_ms: started.elapsed().as_millis() as u64,
+            };
+            let path = dir.join(format!("{}.metrics.json", e.id));
+            if let Err(err) = std::fs::write(&path, mvm_json::to_string_pretty(&artifact)) {
+                eprintln!("cannot write {}: {err}", path.display());
+            }
+        }
+        results.push(e);
+    }
+    recorder.finish();
     for e in &results {
         print_experiment(e);
     }

@@ -1,0 +1,178 @@
+//! The journal's wire format: one [`Event`] per JSONL line.
+
+use mvm_json::{json_enum, json_struct};
+
+/// One journal record. `seq` is a per-recorder monotone sequence number
+/// (assigned under the sink lock, so it also orders the journal file)
+/// and `t_us` is microseconds since the recorder was created — a
+/// monotonic clock, never wall-clock time, and never visible to the
+/// search itself (the passivity invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone per-recorder sequence number.
+    pub seq: u64,
+    /// Microseconds since the recorder's origin instant.
+    pub t_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+json_struct!(Event { seq, t_us, kind });
+
+/// The event taxonomy. Counters, gauges, and histograms are flushed as
+/// *cumulative totals* (append-only, last record for a name wins);
+/// spans and marks are streamed as they happen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened. `parent` links the hierarchy; `None` is a root.
+    Span {
+        /// Recorder-unique span id.
+        id: u64,
+        /// Enclosing span, if any.
+        parent: Option<u64>,
+        /// Span name (e.g. `synthesize`, `replay`, `worker0`).
+        name: String,
+    },
+    /// A span closed.
+    End {
+        /// The id from the matching [`EventKind::Span`].
+        id: u64,
+        /// Span duration in microseconds.
+        dur_us: u64,
+    },
+    /// Cumulative counter total at flush time.
+    Count {
+        /// Dot-scoped counter name (e.g. `kernel.nodes_expanded`).
+        name: String,
+        /// Total accumulated so far.
+        total: u64,
+    },
+    /// Last-written gauge value at flush time.
+    Gauge {
+        /// Dot-scoped gauge name.
+        name: String,
+        /// The value.
+        value: u64,
+    },
+    /// Histogram summary at flush time.
+    Histo {
+        /// Dot-scoped histogram name.
+        name: String,
+        /// Observations recorded.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Smallest observation.
+        min: u64,
+        /// Largest observation.
+        max: u64,
+    },
+    /// A discrete occurrence with free-form string fields.
+    Mark {
+        /// Dot-scoped event name (e.g. `kernel.cut`, `store.open`).
+        name: String,
+        /// `(key, value)` pairs, in emission order.
+        fields: Vec<(String, String)>,
+    },
+}
+
+json_enum!(EventKind {
+    Span {
+        id: u64,
+        parent: Option<u64>,
+        name: String
+    },
+    End { id: u64, dur_us: u64 },
+    Count { name: String, total: u64 },
+    Gauge { name: String, value: u64 },
+    Histo {
+        name: String,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64
+    },
+    Mark {
+        name: String,
+        fields: Vec<(String, String)>
+    },
+});
+
+impl EventKind {
+    /// The metric or span name this event carries, if any.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            EventKind::Span { name, .. }
+            | EventKind::Count { name, .. }
+            | EventKind::Gauge { name, .. }
+            | EventKind::Histo { name, .. }
+            | EventKind::Mark { name, .. } => Some(name),
+            EventKind::End { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: &Event) {
+        let text = mvm_json::to_string(e);
+        assert!(!text.contains('\n'), "journal lines must be single-line");
+        let back: Event = mvm_json::from_str(&text).expect("event must parse");
+        assert_eq!(&back, e);
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let kinds = vec![
+            EventKind::Span {
+                id: 1,
+                parent: None,
+                name: "synthesize".into(),
+            },
+            EventKind::Span {
+                id: 2,
+                parent: Some(1),
+                name: "replay".into(),
+            },
+            EventKind::End { id: 2, dur_us: 412 },
+            EventKind::Count {
+                name: "kernel.nodes_expanded".into(),
+                total: 4000,
+            },
+            EventKind::Gauge {
+                name: "workers".into(),
+                value: 4,
+            },
+            EventKind::Histo {
+                name: "suffix.len".into(),
+                count: 3,
+                sum: 12,
+                min: 2,
+                max: 6,
+            },
+            EventKind::Mark {
+                name: "kernel.cut".into(),
+                fields: vec![("reason".into(), "Nodes".into())],
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            round_trip(&Event {
+                seq: i as u64,
+                t_us: 17 * i as u64,
+                kind,
+            });
+        }
+    }
+
+    #[test]
+    fn name_accessor_covers_named_kinds() {
+        let m = EventKind::Mark {
+            name: "store.open".into(),
+            fields: vec![],
+        };
+        assert_eq!(m.name(), Some("store.open"));
+        assert_eq!(EventKind::End { id: 1, dur_us: 0 }.name(), None);
+    }
+}

@@ -34,6 +34,9 @@ pub use budget::{Budget, BudgetMeter, CutReason};
 pub use frontier::{BestFirst, Bfs, Dfs, Frontier, FrontierKind, NodeScore};
 pub use sharded::ShardedFrontier;
 pub use stats::{AbandonedSpace, KernelStats, ParallelReport};
+// Re-exported so kernel drivers in other crates can call [`explore`]
+// without a manifest dependency on the tracing crate.
+pub use res_obs::{Recorder, Span};
 
 use mvm_symbolic::{ExprRef, SolveResult, SolverSession, UnknownReason};
 
@@ -151,12 +154,18 @@ pub struct ExploreConfig {
 /// horizon; generate hypotheses (finalizing childless nodes); transform
 /// each; finalize cul-de-sacs of nonzero depth; hand surviving children
 /// to the frontier.
+///
+/// `recorder` is a strictly passive observer (pass an already-scoped
+/// handle, e.g. `rec.scoped("kernel")`, or [`Recorder::disabled`]):
+/// the loop never reads it, so enabling tracing cannot perturb the
+/// search order.
 pub fn explore<D>(
     driver: &mut D,
     root: D::Node,
     config: &ExploreConfig,
     frontier: &mut dyn Frontier<D::Node>,
     stats: &mut KernelStats,
+    recorder: &Recorder,
 ) -> Vec<D::Artifact>
 where
     D: StateTransform + Finalize,
@@ -164,7 +173,9 @@ where
     let meter = BudgetMeter::start();
     let mut artifacts = Vec::new();
     frontier.extend(vec![(NodeScore::root(), root)]);
+    recorder.counter("frontier_push", 1);
     while let Some((_, node)) = frontier.pop() {
+        recorder.counter("frontier_pop", 1);
         if artifacts.len() >= config.max_artifacts {
             break;
         }
@@ -177,15 +188,24 @@ where
             for (_, n) in frontier.drain() {
                 stats.abandoned.record(driver.depth(&n));
             }
+            let abandoned = stats.abandoned.nodes;
+            recorder.event_with("cut", || {
+                vec![
+                    ("reason".into(), format!("{cut:?}")),
+                    ("abandoned".into(), abandoned.to_string()),
+                ]
+            });
             break;
         }
         stats.nodes_expanded += 1;
+        recorder.counter("nodes_expanded", 1);
         let depth = driver.depth(&node);
         stats.deepest = stats.deepest.max(depth);
 
         if depth >= config.max_depth {
             if let Some(a) = driver.finalize(&node, stats) {
                 artifacts.push(a);
+                recorder.counter("artifacts", 1);
             }
             continue;
         }
@@ -193,9 +213,11 @@ where
         if candidates.is_empty() {
             if let Some(a) = driver.finalize(&node, stats) {
                 artifacts.push(a);
+                recorder.counter("artifacts", 1);
             }
             continue;
         }
+        recorder.counter("hypotheses", candidates.len() as u64);
         let mut children = Vec::new();
         for cand in candidates {
             stats.hypotheses += 1;
@@ -209,10 +231,12 @@ where
             if depth > 0 {
                 if let Some(a) = driver.finalize(&node, stats) {
                     artifacts.push(a);
+                    recorder.counter("artifacts", 1);
                 }
             }
             continue;
         }
+        recorder.counter("frontier_push", children.len() as u64);
         frontier.extend(children);
     }
     artifacts
@@ -281,7 +305,14 @@ mod tests {
     ) -> (Vec<u32>, KernelStats) {
         let mut frontier = kind.build();
         let mut stats = KernelStats::default();
-        let artifacts = explore(driver, 1u32, config, frontier.as_mut(), &mut stats);
+        let artifacts = explore(
+            driver,
+            1u32,
+            config,
+            frontier.as_mut(),
+            &mut stats,
+            &Recorder::disabled(),
+        );
         (artifacts, stats)
     }
 

@@ -30,6 +30,7 @@ use mvm_isa::{
 };
 use mvm_machine::ThreadId;
 use mvm_symbolic::{ExprRef, Model, SolveResult, SolverConfig, SolverSession, UnknownReason};
+use res_obs::Recorder;
 use res_store::{program_fingerprint, LoadOutcome, SolverStore};
 
 use crate::blockexec::{run_hypothesis, EndPoint, HypSpec, Infeasible, Tagged};
@@ -78,6 +79,11 @@ pub struct ResConfig {
     /// Absorbed entries replay their original enumeration cost, so a
     /// warm run synthesizes byte-identical suffixes to a cold one.
     pub cache_path: Option<PathBuf>,
+    /// Structured-tracing journal (JSONL, see `res-obs`). `None` (the
+    /// default) disables tracing at near-zero cost. The recorder is
+    /// strictly passive: enabling it cannot change which suffixes are
+    /// found — the golden-fixture determinism gates run with it on.
+    pub trace: Option<PathBuf>,
     /// Prune candidates against the dump's LBR ring.
     pub use_lbr: bool,
     /// Match only offline-underivable transfers (the §2.4 LBR filtering
@@ -108,6 +114,7 @@ impl Default for ResConfig {
             workers: 1,
             solver: SolverConfig::default(),
             cache_path: None,
+            trace: None,
             use_lbr: false,
             lbr_filtered: false,
             use_error_log: false,
@@ -238,6 +245,13 @@ impl ResConfigBuilder {
         self
     }
 
+    /// Journal every engine phase, kernel counter, solver hit, and
+    /// store event to a JSONL trace at `p` (see [`ResConfig::trace`]).
+    pub fn trace(mut self, p: impl Into<PathBuf>) -> Self {
+        self.config.trace = Some(p.into());
+        self
+    }
+
     /// Prune candidates against the dump's LBR ring.
     pub fn use_lbr(mut self, v: bool) -> Self {
         self.config.use_lbr = v;
@@ -300,6 +314,9 @@ pub struct SynthOptions {
     /// overriding any engine-level [`ResConfig::cache_path`]: absorbed
     /// before the search, new entries committed after.
     pub cache_path: Option<PathBuf>,
+    /// Journal this call to a JSONL trace at this path, overriding any
+    /// engine-level [`ResConfig::trace`] for the duration of the call.
+    pub trace: Option<PathBuf>,
 }
 
 impl SynthOptions {
@@ -324,6 +341,12 @@ impl SynthOptions {
     /// Overrides the persistent store for this call.
     pub fn cache_path(mut self, p: impl Into<PathBuf>) -> Self {
         self.cache_path = Some(p.into());
+        self
+    }
+
+    /// Journals this call to a trace at `p`.
+    pub fn trace(mut self, p: impl Into<PathBuf>) -> Self {
+        self.trace = Some(p.into());
         self
     }
 }
@@ -426,17 +449,39 @@ pub struct ResEngine<'p> {
     /// `synthesize*` call, so a corpus sweep over one engine shares a
     /// single load and appends incrementally.
     store: RefCell<Option<SolverStore>>,
+    /// The engine-level tracing recorder ([`ResConfig::trace`];
+    /// disabled when unset). Strictly passive — the search never reads
+    /// it, so tracing cannot perturb which suffixes are found.
+    recorder: Recorder,
 }
 
 impl<'p> ResEngine<'p> {
     /// Builds an engine (CFGs and call graph are precomputed). When the
     /// config names a [`cache_path`](ResConfig::cache_path), the store
     /// is opened (any damage degrades to a cold start, never an error)
-    /// and absorbed into the solver session here.
+    /// and absorbed into the solver session here. When it names a
+    /// [`trace`](ResConfig::trace), a JSONL journal recorder is opened
+    /// at that path.
     pub fn new(program: &'p Program, config: ResConfig) -> Self {
-        let session = SolverSession::with_config(config.solver);
+        let recorder = config
+            .trace
+            .as_ref()
+            .map(Recorder::journal)
+            .unwrap_or_default();
+        Self::with_recorder(program, config, recorder)
+    }
+
+    /// [`new`](Self::new) with an explicit recorder — used by the
+    /// speculative workers, which share (a scoped view of) the parent
+    /// engine's recorder instead of opening their own journals, and by
+    /// per-call trace overrides.
+    fn with_recorder(program: &'p Program, config: ResConfig, recorder: Recorder) -> Self {
+        let session =
+            SolverSession::with_config(config.solver).with_recorder(recorder.scoped("solver"));
         let store = config.cache_path.as_ref().map(|p| {
-            let store = SolverStore::open(p, program_fingerprint(program));
+            let _absorb = recorder.span("absorb");
+            let store =
+                SolverStore::open_with(p, program_fingerprint(program), recorder.scoped("store"));
             store.absorb_into(&session);
             store
         });
@@ -446,6 +491,7 @@ impl<'p> ResEngine<'p> {
             config,
             session,
             store: RefCell::new(store),
+            recorder,
         }
     }
 
@@ -495,17 +541,75 @@ impl<'p> ResEngine<'p> {
     /// spent.
     pub fn synthesize_with(&self, dump: &Coredump, opts: SynthOptions) -> SynthesisResult {
         let workers = opts.workers.unwrap_or(self.config.workers).max(1);
+        // A per-call trace overrides the engine-level recorder for this
+        // call only — including the session's counters, which are
+        // swapped and restored around the call.
+        let call_recorder = opts.trace.as_ref().map(Recorder::journal);
+        let recorder = call_recorder
+            .clone()
+            .unwrap_or_else(|| self.recorder.clone());
+        let prev_session_rec = call_recorder
+            .as_ref()
+            .map(|r| self.session.set_recorder(r.scoped("solver")));
+        let wall = std::time::Instant::now();
+        let run = recorder.span("synthesize");
+        recorder.gauge("workers", workers as u64);
         // A per-call store overrides the engine-level one for this call.
         let mut call_store = opts.cache_path.as_ref().map(|p| {
-            let store = SolverStore::open(p, program_fingerprint(self.program));
+            let _absorb = run.child("absorb");
+            let store = SolverStore::open_with(
+                p,
+                program_fingerprint(self.program),
+                recorder.scoped("store"),
+            );
             store.absorb_into(&self.session);
             store
         });
-        let store_hits_before = self.session.stats().store_hits;
-        let parallel = (workers > 1).then(|| self.speculate(dump, opts.relax, workers));
-        let mut result = self.replay(dump, opts.relax);
+        let session_before = self.session.stats();
+        let t_absorb = wall.elapsed();
+        let parallel = (workers > 1).then(|| {
+            let span = run.child("speculate");
+            self.speculate(dump, opts.relax, workers, &recorder, span.id())
+        });
+        let t_speculate = wall.elapsed() - t_absorb;
+        let mut result = {
+            let _replay = run.child("replay");
+            self.replay(dump, opts.relax, &recorder)
+        };
+        let t_replay = wall.elapsed() - t_speculate - t_absorb;
         result.parallel = parallel;
-        result.store = self.export_to_store(call_store.as_mut(), store_hits_before);
+        result.store = {
+            let _commit = run.child("commit");
+            self.export_to_store(call_store.as_mut(), session_before.store_hits)
+        };
+        let t_commit = wall.elapsed() - t_replay - t_speculate - t_absorb;
+        drop(run);
+        recorder.finish();
+        if let Some(prev) = prev_session_rec {
+            self.session.set_recorder(prev);
+        }
+        if recorder.enabled() {
+            // The common case should not need journal post-processing:
+            // one line with the headline numbers. Hit attribution is
+            // the replay session's delta — memo (exact in-session),
+            // worker (speculative absorb), store (cross-run).
+            let s = self.session.stats().delta_since(&session_before);
+            eprintln!(
+                "res-trace: nodes={} suffixes={} verdict={:?} \
+                 hits memo={} worker={} store={} \
+                 wall absorb={}ms speculate={}ms replay={}ms commit={}ms",
+                result.stats.nodes_expanded,
+                result.suffixes.len(),
+                result.verdict,
+                s.cache_hits - s.absorbed_hits,
+                s.absorbed_hits - s.store_hits,
+                s.store_hits,
+                t_absorb.as_millis(),
+                t_speculate.as_millis(),
+                t_replay.as_millis(),
+                t_commit.as_millis(),
+            );
+        }
         result
     }
 
@@ -536,19 +640,29 @@ impl<'p> ResEngine<'p> {
     /// Phase 1 of a sharded run: fan out `workers` speculative threads,
     /// fold their stats, and absorb their portable solver caches into
     /// this engine's session.
-    fn speculate(&self, dump: &Coredump, relax: Relax, workers: usize) -> ParallelReport {
+    fn speculate(
+        &self,
+        dump: &Coredump,
+        relax: Relax,
+        workers: usize,
+        recorder: &Recorder,
+        speculate_span: Option<u64>,
+    ) -> ParallelReport {
         // The worker threads must not capture `self` (the session's
         // interior mutability is single-threaded); they get the shared
         // immutable program plus a config clone and build their own
-        // engines.
+        // engines. They do share the recorder (it is thread-safe),
+        // each under its own `speculate.wN` scope.
         let program = self.program;
         let results: Vec<(KernelStats, mvm_symbolic::PortableCache)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
                         let config = self.config.clone();
+                        let worker_rec = recorder.scoped(&format!("speculate.w{w}"));
                         scope.spawn(move || {
-                            let engine = ResEngine::new(program, config);
+                            let _span = worker_rec.span_under("shard", speculate_span);
+                            let engine = ResEngine::with_recorder(program, config, worker_rec);
                             engine.run_shard(dump, relax, w, workers)
                         })
                     })
@@ -568,6 +682,7 @@ impl<'p> ResEngine<'p> {
             self.session.absorb(cache);
         }
         report.cache_entries = self.session.absorbed_len();
+        recorder.gauge("speculate.cache_entries", report.cache_entries as u64);
         report
     }
 
@@ -590,13 +705,14 @@ impl<'p> ResEngine<'p> {
             self.config.budget().slice(workers),
             &mut frontier,
             &mut stats,
+            &self.recorder,
         );
         (stats, self.session.export_portable())
     }
 
     /// Phase 2 (and the whole of a single-worker run): the exact
     /// sequential search.
-    fn replay(&self, dump: &Coredump, relax: Relax) -> SynthesisResult {
+    fn replay(&self, dump: &Coredump, relax: Relax, recorder: &Recorder) -> SynthesisResult {
         let mut stats = KernelStats::default();
         let mut frontier = self.config.frontier.build();
         let suffixes = self.explore_with(
@@ -605,6 +721,7 @@ impl<'p> ResEngine<'p> {
             self.config.budget(),
             frontier.as_mut(),
             &mut stats,
+            recorder,
         );
         let verdict = if !suffixes.is_empty() {
             Verdict::SuffixFound
@@ -636,6 +753,7 @@ impl<'p> ResEngine<'p> {
         budget: Budget,
         frontier: &mut dyn Frontier<Node>,
         stats: &mut KernelStats,
+        recorder: &Recorder,
     ) -> Vec<ExecutionSuffix> {
         let mut ctx = SymCtx::new();
         let root = self.build_root(dump, relax, &mut ctx);
@@ -651,7 +769,14 @@ impl<'p> ResEngine<'p> {
             max_depth: self.config.max_depth,
             max_artifacts: self.config.max_suffixes,
         };
-        let suffixes = explore(&mut driver, root, &explore_config, frontier, stats);
+        let suffixes = explore(
+            &mut driver,
+            root,
+            &explore_config,
+            frontier,
+            stats,
+            &recorder.scoped("kernel"),
+        );
         stats.solver = self.session.stats().delta_since(&session_before);
         suffixes
     }

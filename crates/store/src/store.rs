@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 use mvm_isa::Program;
 use mvm_json::json_struct;
 use mvm_symbolic::{CanonFp, PortableCache, PortableResult, SolverSession};
+use res_obs::Recorder;
 
 use crate::format::{
     decode_record, encode_record, fnv64, magic_line, parse_magic, Header, Tag, FORMAT_VERSION,
@@ -157,12 +158,25 @@ pub struct SolverStore {
     base_entry_records: usize,
     read_only: bool,
     hits_dirty: bool,
+    /// Passive observer: open/degraded/commit/compact marks. The caller
+    /// hands in an already-scoped recorder (the engine uses
+    /// `rec.scoped("store")`), so event names here stay bare. Never
+    /// read back by the store.
+    recorder: Recorder,
 }
 
 impl SolverStore {
     /// Opens (or plans to create) the store at `path` for the program
     /// with fingerprint `program_fp`.
     pub fn open(path: impl Into<PathBuf>, program_fp: u64) -> SolverStore {
+        Self::open_with(path, program_fp, Recorder::disabled())
+    }
+
+    /// [`open`](Self::open) with a tracing recorder attached. Pass an
+    /// already-scoped handle (e.g. `rec.scoped("store")`); the store
+    /// emits bare mark names like `open`, `degraded`, `commit`, and
+    /// `compact`.
+    pub fn open_with(path: impl Into<PathBuf>, program_fp: u64, recorder: Recorder) -> SolverStore {
         let path = path.into();
         let mut store = SolverStore {
             path,
@@ -175,9 +189,62 @@ impl SolverStore {
             base_entry_records: 0,
             read_only: false,
             hits_dirty: false,
+            recorder,
         };
         store.load(program_fp);
+        let report = store.report;
+        store.recorder.event_with("open", || {
+            vec![
+                ("outcome".into(), format!("{:?}", report.outcome)),
+                ("entries".into(), report.entries_loaded.to_string()),
+                ("superseded".into(), report.superseded.to_string()),
+                ("skipped".into(), report.records_skipped.to_string()),
+                ("bytes".into(), report.bytes.to_string()),
+            ]
+        });
+        // A degradation is any defect that cost us warm-start entries:
+        // every outcome other than a clean load or a simply-absent
+        // file, plus any torn/corrupt tail records on an otherwise
+        // valid store.
+        let degraded = !matches!(report.outcome, LoadOutcome::Loaded | LoadOutcome::Missing)
+            || report.records_skipped > 0;
+        if degraded {
+            store.recorder.event_with("degraded", || {
+                vec![
+                    ("outcome".into(), format!("{:?}", report.outcome)),
+                    ("skipped".into(), report.records_skipped.to_string()),
+                ]
+            });
+        }
         store
+    }
+
+    /// Opens a store for inspection without knowing its program: the
+    /// header's own fingerprint is trusted, so a valid file always
+    /// loads its entries (and never trips the fingerprint-mismatch
+    /// guard). Used by the `store-inspect` CLI; engine code must use
+    /// [`open`](Self::open) so stores stay bound to their program.
+    pub fn open_for_inspection(path: impl Into<PathBuf>) -> SolverStore {
+        let path = path.into();
+        let fp = Self::peek_fingerprint(&path).unwrap_or(0);
+        Self::open(path, fp)
+    }
+
+    /// Best-effort read of the program fingerprint in the header of the
+    /// file at `path` (`None` when the file is missing, unreadable, or
+    /// not a store).
+    pub fn peek_fingerprint(path: &Path) -> Option<u64> {
+        let raw = std::fs::read(path).ok()?;
+        let text = std::str::from_utf8(&raw).ok()?;
+        let magic_end = text.find('\n')?;
+        parse_magic(&text[..magic_end])?;
+        let (line, _) = Self::next_line(text, magic_end + 1)?;
+        let (tag, payload) = decode_record(line)?;
+        if tag != Tag::Header {
+            return None;
+        }
+        let header: Header = mvm_json::from_str(payload).ok()?;
+        Some(header.program_fp)
     }
 
     fn load(&mut self, program_fp: u64) {
@@ -294,6 +361,11 @@ impl SolverStore {
         &self.report
     }
 
+    /// The store header (as loaded, or as it will be written).
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
     /// The persisted observability counters.
     pub fn stats(&self) -> &StoreStats {
         &self.stats
@@ -400,6 +472,14 @@ impl SolverStore {
         self.pending.clear();
         self.hits_dirty = false;
         self.report.outcome = LoadOutcome::Loaded;
+        let stats = self.stats;
+        self.recorder.event_with("commit", || {
+            vec![
+                ("appended".into(), appended.to_string()),
+                ("entries".into(), stats.entries.to_string()),
+                ("bytes".into(), stats.bytes.to_string()),
+            ]
+        });
         Ok(CommitReport {
             appended,
             bytes: self.stats.bytes,
@@ -437,6 +517,14 @@ impl SolverStore {
         self.pending.clear();
         self.hits_dirty = false;
         self.report.outcome = LoadOutcome::Loaded;
+        let bytes_after = self.stats.bytes;
+        self.recorder.event_with("compact", || {
+            vec![
+                ("dropped".into(), dropped.to_string()),
+                ("bytes_before".into(), bytes_before.to_string()),
+                ("bytes_after".into(), bytes_after.to_string()),
+            ]
+        });
         Ok(CompactReport {
             dropped,
             bytes_before,

@@ -18,6 +18,8 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
+use res_obs::Recorder;
+
 use crate::expr::ExprRef;
 use crate::fingerprint::{canonical_key, CanonFp, PortableCache, PortableResult};
 use crate::solver::{SolveResult, Solver, SolverConfig, UnknownReason};
@@ -115,6 +117,12 @@ pub struct SolverSession {
     /// the entry came from. Consulted only after the exact memo misses.
     absorbed: RefCell<HashMap<CanonFp, (PortableResult, AbsorbSource)>>,
     stats: RefCell<SessionStats>,
+    /// Passive observer mirroring the stats counters into a journal
+    /// (disabled by default: every call is then an allocation-free
+    /// no-op). Nothing in the session ever reads it back. The caller
+    /// hands in an already-scoped recorder (the engine uses
+    /// `rec.scoped("solver")`), so counter names here stay bare.
+    recorder: RefCell<Recorder>,
 }
 
 /// Where an absorbed cache entry originated. The distinction only
@@ -150,6 +158,21 @@ impl SolverSession {
         }
     }
 
+    /// Attaches a tracing recorder at construction time. Pass an
+    /// already-scoped handle (e.g. `rec.scoped("solver")`); the session
+    /// emits bare counter names like `queries` and `store_hits`.
+    pub fn with_recorder(self, recorder: Recorder) -> Self {
+        self.recorder.replace(recorder);
+        self
+    }
+
+    /// Swaps the tracing recorder, returning the previous one — used by
+    /// callers that override tracing for a single run and restore it
+    /// after.
+    pub fn set_recorder(&self, recorder: Recorder) -> Recorder {
+        self.recorder.replace(recorder)
+    }
+
     /// Memoized [`Solver::check`]: the conjunction of `constraints`,
     /// each truthy when non-zero.
     ///
@@ -157,11 +180,14 @@ impl SolverSession {
     /// a different order miss; callers with a canonical build order (as
     /// the search engine has) get exact reuse anyway.
     pub fn check(&self, constraints: &[ExprRef]) -> SolveResult {
+        let rec = self.recorder.borrow();
         let mut stats = self.stats.borrow_mut();
         stats.queries += 1;
+        rec.counter("queries", 1);
         if let Some((hit, _, _)) = self.cache.borrow().get(constraints) {
             stats.cache_hits += 1;
-            Self::tally(&mut stats, hit);
+            rec.counter("cache_hits", 1);
+            Self::tally(&mut stats, &rec, hit);
             return hit.clone();
         }
         // Absorbed (α-canonical) lookup. The guard keeps the common
@@ -176,15 +202,19 @@ impl SolverSession {
             if let Some((result, cost, source)) = instantiated {
                 stats.cache_hits += 1;
                 stats.absorbed_hits += 1;
+                rec.counter("cache_hits", 1);
+                rec.counter("absorbed_hits", 1);
                 if source == AbsorbSource::Store {
                     stats.store_hits += 1;
+                    rec.counter("store_hits", 1);
                 }
                 // Charge the original enumeration cost so solver-budget
                 // enforcement matches a session that solved this query
                 // itself; repeats then hit the exact memo for free,
                 // exactly like a locally-solved query.
                 stats.assignments += cost;
-                Self::tally(&mut stats, &result);
+                rec.counter("assignments", cost);
+                Self::tally(&mut stats, &rec, &result);
                 self.cache
                     .borrow_mut()
                     .insert(constraints.to_vec(), (result.clone(), cost, true));
@@ -192,11 +222,13 @@ impl SolverSession {
             }
         }
         stats.cache_misses += 1;
+        rec.counter("cache_misses", 1);
         drop(stats);
         let (result, used, portable) = self.solver.check_classified(constraints);
         let mut stats = self.stats.borrow_mut();
         stats.assignments += used;
-        Self::tally(&mut stats, &result);
+        rec.counter("assignments", used);
+        Self::tally(&mut stats, &rec, &result);
         self.cache
             .borrow_mut()
             .insert(constraints.to_vec(), (result.clone(), used, portable));
@@ -243,9 +275,18 @@ impl SolverSession {
     /// with `source` for hit attribution.
     pub fn absorb_from(&self, export: &PortableCache, source: AbsorbSource) {
         let mut absorbed = self.absorbed.borrow_mut();
+        let before = absorbed.len();
         for (fp, p) in &export.entries {
             absorbed.entry(*fp).or_insert_with(|| (p.clone(), source));
         }
+        let new = absorbed.len() - before;
+        self.recorder.borrow().event_with("absorb", || {
+            vec![
+                ("source".into(), format!("{source:?}")),
+                ("entries".into(), export.entries.len().to_string()),
+                ("new".into(), new.to_string()),
+            ]
+        });
     }
 
     /// Number of entries in the absorbed (cross-session) cache.
@@ -261,12 +302,24 @@ impl SolverSession {
         }
     }
 
-    fn tally(stats: &mut SessionStats, result: &SolveResult) {
+    fn tally(stats: &mut SessionStats, rec: &Recorder, result: &SolveResult) {
         match result {
-            SolveResult::Sat(_) => stats.sat += 1,
-            SolveResult::Unsat => stats.unsat += 1,
-            SolveResult::Unknown(UnknownReason::BudgetExhausted) => stats.unknown_budget += 1,
-            SolveResult::Unknown(UnknownReason::Incomplete) => stats.unknown_incomplete += 1,
+            SolveResult::Sat(_) => {
+                stats.sat += 1;
+                rec.counter("sat", 1);
+            }
+            SolveResult::Unsat => {
+                stats.unsat += 1;
+                rec.counter("unsat", 1);
+            }
+            SolveResult::Unknown(UnknownReason::BudgetExhausted) => {
+                stats.unknown_budget += 1;
+                rec.counter("unknown_budget", 1);
+            }
+            SolveResult::Unknown(UnknownReason::Incomplete) => {
+                stats.unknown_incomplete += 1;
+                rec.counter("unknown_incomplete", 1);
+            }
         }
     }
 

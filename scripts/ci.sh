@@ -35,14 +35,28 @@ echo "==> cross-run determinism gate (golden suffix fixture, cold then warm stor
 # golden fixture test twice against one store file — the first run
 # populates it, the second answers solver queries from it; both must
 # match the very same cold golden fixture.
-store_dir="$(mktemp -d)"
-trap 'rm -rf "$store_dir"' EXIT
+scratch_dir="$(mktemp -d)"
+trap 'rm -rf "$scratch_dir"' EXIT
 for pass in cold warm; do
     echo "    RES_CACHE_PATH ($pass)"
-    RES_CACHE_PATH="$store_dir/ci.resstore" cargo test -q --test suffix_golden \
+    RES_CACHE_PATH="$scratch_dir/ci.resstore" cargo test -q --test suffix_golden \
         default_dfs_suffixes_match_pre_refactor_fixture
 done
-test -s "$store_dir/ci.resstore" || { echo "store was never populated"; exit 1; }
+test -s "$scratch_dir/ci.resstore" || { echo "store was never populated"; exit 1; }
+
+echo "==> traced determinism gate (golden suffix fixture with RES_TRACE on)"
+# The observability contract: the recorder is strictly passive. Run the
+# golden fixture test with journaling enabled — the fixture file is
+# still the same, so tracing must not change a single synthesized byte —
+# then parse and sanity-check the journal it left behind.
+echo "    RES_TRACE (passivity)"
+RES_TRACE="$scratch_dir/golden.jsonl" cargo test -q --test suffix_golden \
+    default_dfs_suffixes_match_pre_refactor_fixture
+test -s "$scratch_dir/golden.jsonl" || { echo "trace journal was never written"; exit 1; }
+echo "    journal parses and reconstructs the run"
+trace_out="$(cargo run --release -q --bin res-cli -- trace "$scratch_dir/golden.jsonl")"
+echo "$trace_out" | grep -q "synthesize" || { echo "journal missing synthesize span"; exit 1; }
+echo "$trace_out" | grep -q "kernel.nodes_expanded" || { echo "journal missing kernel counters"; exit 1; }
 
 echo "==> hermetic dependency check"
 "$repo_root/scripts/check_hermetic.sh"

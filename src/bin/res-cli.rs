@@ -6,11 +6,14 @@
 //! res-cli crash <bug> <dir>   crash a workload; write program.json + dump.json
 //! res-cli synthesize <dir>    synthesize + replay + root-cause from those files
 //! res-cli verdict <dir>       hardware-vs-software verdict for the dump
+//! res-cli trace <journal>     pretty-print a res-obs JSONL trace journal
 //! ```
 //!
 //! Programs and coredumps are exchanged as JSON, so dumps can be
 //! inspected, archived, or corrupted (for §3.2 experiments) with
-//! ordinary tools.
+//! ordinary tools. `synthesize` honors `RES_TRACE=<path>`: the run is
+//! journaled there, and `res-cli trace <path>` renders the span tree
+//! and counter totals afterwards.
 
 use std::path::Path;
 
@@ -79,7 +82,11 @@ fn cmd_synthesize(dir: &Path) -> Result<(), String> {
         dump.fault_pc(),
         dump.faulting_tid
     );
-    let engine = ResEngine::new(&program, ResConfig::default());
+    let mut builder = ResConfig::builder();
+    if let Ok(p) = std::env::var("RES_TRACE") {
+        builder = builder.trace(p);
+    }
+    let engine = ResEngine::new(&program, builder.build());
     let result = engine.synthesize(&dump);
     println!(
         "verdict: {:?} — {} suffix(es), {} hypotheses, deepest {}",
@@ -117,6 +124,13 @@ fn cmd_verdict(dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(path: &Path) -> Result<(), String> {
+    let events = read_journal(path)?;
+    println!("{} events in {}", events.len(), path.display());
+    print!("{}", res_debugger::obs::render::render(&events));
+    Ok(())
+}
+
 fn cmd_demo(kind: BugKind) -> Result<(), String> {
     let program = build_workload(kind, WorkloadParams::default());
     let machine = (0..500)
@@ -151,7 +165,7 @@ fn cmd_demo(kind: BugKind) -> Result<(), String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  res-cli list\n  res-cli demo <bug>\n  res-cli crash <bug> <dir>\n  res-cli synthesize <dir>\n  res-cli verdict <dir>"
+        "usage:\n  res-cli list\n  res-cli demo <bug>\n  res-cli crash <bug> <dir>\n  res-cli synthesize <dir>\n  res-cli verdict <dir>\n  res-cli trace <journal>"
     );
     std::process::exit(2)
 }
@@ -177,6 +191,10 @@ fn main() {
         },
         Some("verdict") => match args.get(1) {
             Some(dir) => cmd_verdict(Path::new(dir)),
+            None => usage(),
+        },
+        Some("trace") => match args.get(1) {
+            Some(journal) => cmd_trace(Path::new(journal)),
             None => usage(),
         },
         _ => usage(),

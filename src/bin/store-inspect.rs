@@ -1,0 +1,80 @@
+//! `store-inspect` — examine (and optionally compact) a `res-store`
+//! solver-result store.
+//!
+//! ```text
+//! store-inspect <file>             print header, stats, record counts
+//! store-inspect <file> --compact   also rewrite the file dropping
+//!                                  superseded records
+//! ```
+//!
+//! Read-only by default: inspection never modifies the file. The
+//! program fingerprint is taken from the store's own header, so any
+//! valid store can be inspected without the program it was built for.
+
+use std::path::Path;
+
+use res_debugger::store::{LoadOutcome, SolverStore};
+
+fn inspect(path: &Path, compact: bool) -> Result<(), String> {
+    if !path.exists() {
+        return Err(format!("no store at {}", path.display()));
+    }
+    let mut store = SolverStore::open_for_inspection(path);
+    let report = *store.load_report();
+    let header = store.header().clone();
+    let stats = *store.stats();
+
+    println!("store: {}", path.display());
+    println!("  outcome:          {:?}", report.outcome);
+    println!("  format version:   {}", header.format_version);
+    println!("  program fp:       {:#018x}", header.program_fp);
+    println!("  isa:              {}", header.isa);
+    println!("  writer:           {}", header.writer);
+    println!("  bytes:            {}", report.bytes);
+    println!("  live entries:     {}", report.entries_loaded);
+    println!("  superseded:       {}", report.superseded);
+    println!("  torn/skipped:     {}", report.records_skipped);
+    let total = report.entries_loaded + report.superseded;
+    let ratio = if total == 0 {
+        0.0
+    } else {
+        report.superseded as f64 / total as f64
+    };
+    println!("  superseded ratio: {ratio:.2}");
+    println!("  stats (persisted at last commit):");
+    println!("    entries:        {}", stats.entries);
+    println!("    bytes:          {}", stats.bytes);
+    println!("    absorbed hits:  {}", stats.absorbed_hits);
+    println!("    commits:        {}", stats.commits);
+    println!("    compactions:    {}", stats.compactions);
+
+    if !compact {
+        return Ok(());
+    }
+    if report.outcome != LoadOutcome::Loaded {
+        return Err(format!(
+            "refusing to compact: store did not load cleanly ({:?})",
+            report.outcome
+        ));
+    }
+    let c = store.compact().map_err(|e| format!("compacting: {e}"))?;
+    println!(
+        "compacted: dropped {} superseded record(s), {} -> {} bytes",
+        c.dropped, c.bytes_before, c.bytes_after
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let compact = args.iter().any(|a| a == "--compact");
+    let paths: Vec<&String> = args.iter().filter(|a| *a != "--compact").collect();
+    let [path] = paths.as_slice() else {
+        eprintln!("usage: store-inspect <store-file> [--compact]");
+        std::process::exit(2);
+    };
+    if let Err(e) = inspect(Path::new(path), compact) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

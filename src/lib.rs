@@ -16,6 +16,7 @@
 //! | [`coredump`] | `mvm-core` | coredump format, minidumps, fault injection |
 //! | [`symbolic`] | `mvm-symbolic` | expression DAG + constraint solver |
 //! | [`res`] | `res-core` | **the paper's contribution**: suffix search, replay, analyses |
+//! | [`obs`] | `res-obs` | hermetic tracing/metrics: spans, counters, JSONL journal |
 //! | [`store`] | `res-store` | persistent cross-run solver-result store |
 //! | [`baselines`] | `res-baselines` | forward ES, static slicing, record-replay, WER, !exploitable |
 //! | [`triage`] | `res-triage` | bucketing, exploitability, hardware filtering |
@@ -67,6 +68,7 @@ pub use mvm_machine as machine;
 pub use mvm_symbolic as symbolic;
 pub use res_baselines as baselines;
 pub use res_core as res;
+pub use res_obs as obs;
 pub use res_store as store;
 pub use res_triage as triage;
 pub use res_workloads as workloads;
@@ -91,6 +93,7 @@ pub mod prelude {
         SynthOptions,
         Verdict, //
     };
+    pub use res_obs::{read_journal, Recorder};
     pub use res_store::SolverStore;
     pub use res_workloads::{build as build_workload, BugKind, WorkloadParams};
 }

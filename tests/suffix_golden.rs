@@ -73,6 +73,9 @@ fn render_with(workers: usize, cache_path: Option<&std::path::Path>) -> String {
     if let Some(p) = cache_path {
         builder = builder.cache_path(p);
     }
+    if let Some(p) = std::env::var_os("RES_TRACE") {
+        builder = builder.trace(p);
+    }
     let engine = ResEngine::new(&program, builder.build());
     let result = engine.synthesize(&dump);
     let mut rendered = String::new();
@@ -98,6 +101,12 @@ fn render_with(workers: usize, cache_path: Option<&std::path::Path>) -> String {
 /// this test twice against one store file (cold, then warm) and both
 /// must match the very same fixture, proving that absorbing a populated
 /// store changes no synthesized byte.
+///
+/// `RES_TRACE=<file>` additionally journals the run to a `res-obs`
+/// trace at that path — the CI traced gate runs this test with tracing
+/// on against the *same* fixture, proving the recorder is passive
+/// (enabling it changes no synthesized byte) and leaving a journal the
+/// gate parses and sanity-checks.
 #[test]
 fn default_dfs_suffixes_match_pre_refactor_fixture() {
     let workers = std::env::var("RES_WORKERS")

@@ -27,4 +27,7 @@ pub use exploitable_heur::{classify_heuristic, Exploitability};
 pub use forward_es::{ForwardConfig, ForwardResult, ForwardSynthesizer};
 pub use recreplay::{measure_recording, RecorderKind, RecordingCost};
 pub use slicer::{backward_slice, SliceResult};
-pub use wer::{bucket_by_stack, misbucket_rate, BucketingReport};
+pub use wer::{
+    bucket_by_stack, build_report_labeled, misbucket_rate, misbucket_rate_labeled, signature_key,
+    BucketingReport,
+};

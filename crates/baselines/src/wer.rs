@@ -32,7 +32,8 @@ impl BucketingReport {
     }
 }
 
-fn signature_key(sig: &StackSignature) -> String {
+/// The WER bucket key for a stack signature.
+pub fn signature_key(sig: &StackSignature) -> String {
     let frames: Vec<String> = sig.frames.iter().map(|l| l.to_string()).collect();
     format!("{}|{}", sig.signal, frames.join(";"))
 }
@@ -46,18 +47,28 @@ pub fn bucket_by_stack(corpus: &[FailureReport], depth: usize) -> BucketingRepor
     build_report(corpus, keys)
 }
 
+fn kind_labels(corpus: &[FailureReport]) -> Vec<String> {
+    corpus.iter().map(|r| format!("{:?}", r.kind)).collect()
+}
+
 /// Builds a report from arbitrary bucket keys (shared with the RES
 /// bucketing in `res-triage`).
 pub fn build_report(corpus: &[FailureReport], keys: Vec<String>) -> BucketingReport {
+    build_report_labeled(&kind_labels(corpus), keys)
+}
+
+/// [`build_report`] over arbitrary ground-truth labels — one label
+/// string per report, reports with equal labels are the same bug. The
+/// generated corpora use this directly (their bug identity is a
+/// program-fingerprint + class pair, not a [`res_workloads::BugKind`]).
+pub fn build_report_labeled(labels: &[String], keys: Vec<String>) -> BucketingReport {
+    assert_eq!(labels.len(), keys.len(), "one key per labeled report");
     let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
     for (i, k) in keys.iter().enumerate() {
         buckets.entry(k.clone()).or_default().push(i);
     }
-    let mut distinct = std::collections::HashSet::new();
-    for r in corpus {
-        distinct.insert(r.kind);
-    }
-    let rate = misbucket_rate(corpus, &keys);
+    let distinct: std::collections::HashSet<&String> = labels.iter().collect();
+    let rate = misbucket_rate_labeled(labels, &keys);
     BucketingReport {
         buckets,
         distinct_bugs: distinct.len(),
@@ -71,44 +82,54 @@ pub fn build_report(corpus: &[FailureReport], keys: Vec<String>) -> BucketingRep
 /// is the plurality label of that bucket; everything else (splits and
 /// merges) is mis-bucketed.
 pub fn misbucket_rate(corpus: &[FailureReport], keys: &[String]) -> f64 {
-    if corpus.is_empty() {
+    misbucket_rate_labeled(&kind_labels(corpus), keys)
+}
+
+/// [`misbucket_rate`] over arbitrary ground-truth label strings.
+pub fn misbucket_rate_labeled(labels: &[String], keys: &[String]) -> f64 {
+    if labels.is_empty() {
         return 0.0;
     }
+    assert_eq!(labels.len(), keys.len(), "one key per labeled report");
     // Per bug: its plurality bucket.
-    let mut bug_bucket_counts: HashMap<(res_workloads::BugKind, &str), usize> = HashMap::new();
-    for (r, k) in corpus.iter().zip(keys) {
-        *bug_bucket_counts.entry((r.kind, k.as_str())).or_default() += 1;
+    let mut bug_bucket_counts: HashMap<(&str, &str), usize> = HashMap::new();
+    for (l, k) in labels.iter().zip(keys) {
+        *bug_bucket_counts
+            .entry((l.as_str(), k.as_str()))
+            .or_default() += 1;
     }
-    let mut bug_home: HashMap<res_workloads::BugKind, &str> = HashMap::new();
+    let mut bug_home: HashMap<&str, &str> = HashMap::new();
     for ((bug, bucket), n) in &bug_bucket_counts {
         let cur = bug_home.get(bug);
         let cur_n = cur.map(|b| bug_bucket_counts[&(*bug, *b)]).unwrap_or(0);
         if *n > cur_n {
-            bug_home.insert(*bug, bucket);
+            bug_home.insert(bug, bucket);
         }
     }
     // Per bucket: its plurality bug.
-    let mut bucket_bug_counts: HashMap<(&str, res_workloads::BugKind), usize> = HashMap::new();
-    for (r, k) in corpus.iter().zip(keys) {
-        *bucket_bug_counts.entry((k.as_str(), r.kind)).or_default() += 1;
+    let mut bucket_bug_counts: HashMap<(&str, &str), usize> = HashMap::new();
+    for (l, k) in labels.iter().zip(keys) {
+        *bucket_bug_counts
+            .entry((k.as_str(), l.as_str()))
+            .or_default() += 1;
     }
-    let mut bucket_owner: HashMap<&str, res_workloads::BugKind> = HashMap::new();
+    let mut bucket_owner: HashMap<&str, &str> = HashMap::new();
     for ((bucket, bug), n) in &bucket_bug_counts {
         let cur = bucket_owner.get(bucket);
         let cur_n = cur.map(|b| bucket_bug_counts[&(*bucket, *b)]).unwrap_or(0);
         if *n > cur_n {
-            bucket_owner.insert(bucket, *bug);
+            bucket_owner.insert(bucket, bug);
         }
     }
-    let mis = corpus
+    let mis = labels
         .iter()
         .zip(keys)
-        .filter(|(r, k)| {
-            bug_home.get(&r.kind).copied() != Some(k.as_str())
-                || bucket_owner.get(k.as_str()).copied() != Some(r.kind)
+        .filter(|(l, k)| {
+            bug_home.get(l.as_str()).copied() != Some(k.as_str())
+                || bucket_owner.get(k.as_str()).copied() != Some(l.as_str())
         })
         .count();
-    mis as f64 / corpus.len() as f64
+    mis as f64 / labels.len() as f64
 }
 
 #[cfg(test)]

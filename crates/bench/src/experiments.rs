@@ -22,7 +22,10 @@ use res_core::{
     RootCause,
     Verdict, //
 };
-use res_triage::{exploitability_study, filter_corpus, triage_corpus};
+use res_triage::{
+    exploit_scale, exploitability_study, filter_corpus, hardware_scale, triage_corpus,
+    triage_scale, CorpusScaleSpec,
+};
 use res_workloads::{build, generate_corpus, run_to_failure, BugKind, CorpusSpec, WorkloadParams};
 
 /// A rendered experiment: an id, a table, and pass/fail of its shape
@@ -995,6 +998,190 @@ pub fn e13_store_warm() -> Experiment {
     }
 }
 
+// --- Corpus-scale experiments (E5c/E6c/E7c) -------------------------
+//
+// The same three use cases, run over a *generated* population of
+// labeled programs (`res-gen`) instead of the fixed handwritten
+// workloads, so each rate becomes a min/median/max distribution over
+// shards. Knobs (all env vars, so CI and the full sweep share one
+// binary):
+//
+// * `RES_CORPUS_PROGRAMS` — population size (default 200);
+// * `RES_GEN_SMOKE` — overrides the population for the fast CI gate;
+// * `RES_HARNESS_THREADS` — worker threads (default `auto_workers`);
+// * `RES_CORPUS_STORE` — shared store directory (default: a per-process
+//   temp directory shared by all three experiments, so E6c and E7c
+//   reuse solver results E5c already paid for).
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The generated population size: the smoke knob wins, then the
+/// programs knob, then the full-sweep default of 200.
+fn corpus_programs() -> usize {
+    match std::env::var("RES_GEN_SMOKE") {
+        Ok(v) => v.parse().unwrap_or(8).max(1),
+        Err(_) => env_usize("RES_CORPUS_PROGRAMS", 200).max(1),
+    }
+}
+
+fn corpus_threads() -> usize {
+    env_usize("RES_HARNESS_THREADS", res_core::auto_workers()).max(1)
+}
+
+/// One shared store directory per process: all three corpus experiments
+/// route their solver results through it, so the per-fingerprint layout
+/// sees hundreds of distinct fingerprints in one place.
+fn corpus_store_dir() -> std::path::PathBuf {
+    match std::env::var_os("RES_CORPUS_STORE") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("res-corpus-store-{}", std::process::id())),
+    }
+}
+
+/// The corpus experiments journal their own per-program counters to
+/// `<id>.journal.jsonl` under the `RES_TRACE` directory (the harness's
+/// `harness.jsonl` only sees one span per experiment).
+fn corpus_recorder(id: &str) -> res_obs::Recorder {
+    match std::env::var_os("RES_TRACE") {
+        Some(dir) => res_obs::Recorder::journal(
+            std::path::Path::new(&dir).join(format!("{id}.journal.jsonl")),
+        ),
+        None => res_obs::Recorder::disabled(),
+    }
+}
+
+fn corpus_spec(
+    classes: Vec<res_workloads::GenClass>,
+    reports_per_program: usize,
+) -> CorpusScaleSpec {
+    let programs = corpus_programs();
+    CorpusScaleSpec {
+        classes,
+        programs,
+        reports_per_program,
+        shards: 10.min(programs),
+        threads: corpus_threads(),
+        seed: 0xc0_9b5,
+        size: 1,
+    }
+}
+
+/// E5c — triaging rate distributions over a generated population.
+pub fn e5c_triage_corpus() -> Experiment {
+    use res_workloads::GenClass;
+    let spec = corpus_spec(GenClass::ALL.to_vec(), 3);
+    let rec = corpus_recorder("E5c");
+    let rep = triage_scale(&spec, &ResConfig::default(), &corpus_store_dir(), &rec);
+    rec.finish();
+    let table = format!(
+        "method              | mis-bucketed min/med/max (per shard) | pooled\n\
+         --------------------+--------------------------------------+-------\n\
+         WER-like (stack)    | {:>36} | {:>5.1}%\n\
+         RES (root cause)    | {:>36} | {:>5.1}%\n\
+         population: {} generated programs ({} classes), {} reports, {} threads\n",
+        rep.wer.pct(),
+        rep.wer_total * 100.0,
+        rep.res.pct(),
+        rep.res_total * 100.0,
+        rep.programs,
+        spec.classes.len(),
+        rep.reports,
+        spec.threads,
+    );
+    let shape = rep.res_total < rep.wer_total && rep.wer_total > 0.0;
+    Experiment {
+        id: "E5c",
+        claim: "root-cause bucketing beats stack bucketing across a generated program population",
+        table,
+        shape_holds: shape,
+    }
+}
+
+/// E6c — exploitability error distributions over a generated population.
+pub fn e6c_exploitability_corpus() -> Experiment {
+    use res_workloads::GenClass;
+    let spec = corpus_spec(
+        vec![
+            GenClass::TaintedOverflow,
+            GenClass::LocalOverflow,
+            GenClass::UseAfterFree,
+            GenClass::DivByZero,
+        ],
+        3,
+    );
+    let rec = corpus_recorder("E6c");
+    let rep = exploit_scale(&spec, &ResConfig::default(), &corpus_store_dir(), &rec);
+    rec.finish();
+    let table = format!(
+        "method        | error rate min/med/max (per shard)   | pooled\n\
+         --------------+--------------------------------------+-------\n\
+         !exploitable  | {:>36} | {:>5.1}%\n\
+         RES taint     | {:>36} | {:>5.1}%\n\
+         population: {} generated programs, {} reports, {} threads\n",
+        rep.heur.pct(),
+        rep.heur_total * 100.0,
+        rep.res.pct(),
+        rep.res_total * 100.0,
+        rep.programs,
+        rep.reports,
+        spec.threads,
+    );
+    let shape = rep.res_total < rep.heur_total;
+    Experiment {
+        id: "E6c",
+        claim: "suffix taint evidence beats fault-shape heuristics across a generated population",
+        table,
+        shape_holds: shape,
+    }
+}
+
+/// E7c — hardware-filter precision/recall distributions over a
+/// generated population (classes whose genuine dumps the engine fully
+/// explains; 4 reports per program so both corruption flavors appear).
+pub fn e7c_hardware_corpus() -> Experiment {
+    use res_workloads::GenClass;
+    let spec = corpus_spec(
+        vec![
+            GenClass::DataRace,
+            GenClass::DivByZero,
+            GenClass::LocalOverflow,
+            GenClass::UseAfterFree,
+        ],
+        4,
+    );
+    let rec = corpus_recorder("E7c");
+    let rep = hardware_scale(&spec, &ResConfig::default(), &corpus_store_dir(), &rec);
+    rec.finish();
+    let table = format!(
+        "metric     | min/med/max (per shard)              | pooled\n\
+         -----------+--------------------------------------+-------\n\
+         precision  | {:>36} | {:>5.1}%\n\
+         recall     | {:>36} | {:>5.1}%\n\
+         population: {} generated programs, {} reports (half hw-corrupted), {} threads\n\
+         genuine software reports misflagged: {}\n",
+        rep.precision.pct(),
+        rep.precision_total * 100.0,
+        rep.recall.pct(),
+        rep.recall_total * 100.0,
+        rep.programs,
+        rep.reports,
+        spec.threads,
+        rep.false_positives,
+    );
+    let shape = rep.false_positives == 0 && rep.recall_total > 0.5;
+    Experiment {
+        id: "E7c",
+        claim: "the hardware filter keeps zero false positives at population scale",
+        table,
+        shape_holds: shape,
+    }
+}
+
 /// Runs every experiment in order.
 pub fn run_all() -> Vec<Experiment> {
     vec![
@@ -1003,8 +1190,11 @@ pub fn run_all() -> Vec<Experiment> {
         e3_length_sweep(),
         e4_breadcrumbs(),
         e5_triage(),
+        e5c_triage_corpus(),
         e6_exploitability(),
+        e6c_exploitability_corpus(),
         e7_hardware(),
+        e7c_hardware_corpus(),
         e8_recording_overhead(),
         e9_suffix_budget(),
         e10_hard_constructs(),

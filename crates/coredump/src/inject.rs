@@ -10,7 +10,7 @@
 use mvm_json::json_enum;
 use mvm_prng::XorShift64Star;
 
-use mvm_isa::Reg;
+use mvm_isa::{Inst, Operand, Program, Reg};
 
 use crate::dump::Coredump;
 
@@ -147,6 +147,135 @@ pub fn corrupt_register_at(
         reg: reg.0,
         before,
         after,
+    }
+}
+
+/// Which hardware failure a post-hoc corruption imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwFlavor {
+    /// A flipped DRAM bit: one bit of a mapped memory byte.
+    BitFlip,
+    /// A CPU datapath error: a live register's value is wrong.
+    RegCorrupt,
+}
+
+impl HwFlavor {
+    /// Stable name for labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HwFlavor::BitFlip => "bit-flip",
+            HwFlavor::RegCorrupt => "reg-corrupt",
+        }
+    }
+}
+
+/// Sites whose corruption is *consequential* — the §3.2 examples all
+/// corrupt state involved in the failure (the miscomputed addition's
+/// result, the value the program just wrote). Returns registers defined
+/// and global addresses stored by the faulting block's already-executed
+/// portion.
+pub fn consequential_sites(program: &Program, dump: &Coredump) -> (Vec<Reg>, Vec<u64>) {
+    let pc = dump.fault_pc();
+    let scan = |func: mvm_isa::FuncId, block: mvm_isa::BlockId, upto: usize| {
+        let blk = program.func(func).block(block);
+        let mut regs = Vec::new();
+        let mut mems = Vec::new();
+        let mut referenced_globals = Vec::new();
+        // Track statically resolvable register contents (global
+        // addresses; alloc results via the dump's heap table).
+        let mut addr_regs: std::collections::HashMap<Reg, u64> = std::collections::HashMap::new();
+        for inst in blk.insts.iter().take(upto) {
+            match inst {
+                Inst::AddrOf { dst, global } => {
+                    let a = program.global(*global).addr;
+                    addr_regs.insert(*dst, a);
+                    referenced_globals.push(a);
+                }
+                Inst::Alloc { dst, .. } => {
+                    if let Some(meta) = dump.heap_allocs.last() {
+                        addr_regs.insert(*dst, meta.base);
+                    }
+                }
+                _ => {}
+            }
+            if let Some(d) = inst.def_reg() {
+                if !regs.contains(&d) {
+                    regs.push(d);
+                }
+            }
+            if let Inst::Store {
+                addr: Operand::Reg(a),
+                offset,
+                ..
+            } = inst
+            {
+                if let Some(base) = addr_regs.get(a) {
+                    mems.push(base.wrapping_add(*offset as u64));
+                }
+            }
+        }
+        (regs, mems, referenced_globals)
+    };
+    let (regs, mems, referenced) = scan(pc.func, pc.block, pc.inst as usize);
+    // Preference chain for registers: the partial range's own defs (the
+    // most recently computed values — §3.2's "miscomputed addition"),
+    // then the unique predecessor's defs.
+    let mut out_regs = regs;
+    let mut out_mems = mems;
+    let mut out_referenced = referenced;
+    if out_regs.is_empty() || out_mems.is_empty() {
+        let cfg = mvm_isa::cfg::Cfg::build(program.func(pc.func));
+        let preds = cfg.preds(pc.block);
+        if preds.len() == 1 {
+            let blen = program.func(pc.func).block(preds[0]).insts.len();
+            let (pregs, pmems, preferenced) = scan(pc.func, preds[0], blen);
+            if out_regs.is_empty() {
+                out_regs = pregs;
+            }
+            if out_mems.is_empty() {
+                out_mems = pmems;
+            }
+            out_referenced.extend(preferenced);
+        }
+    }
+    // Memory fallback: a global the failing code names whose word is
+    // non-zero (so some execution wrote or depends on it).
+    if out_mems.is_empty() {
+        let blk = program.func(pc.func).block(pc.block);
+        for inst in &blk.insts {
+            if let Inst::AddrOf { global, .. } = inst {
+                out_referenced.push(program.global(*global).addr);
+            }
+        }
+        for a in out_referenced {
+            if dump.memory.read(a, mvm_isa::Width::W8) != 0 {
+                out_mems.push(a);
+                break;
+            }
+        }
+    }
+    (out_regs, out_mems)
+}
+
+/// Corrupts `dump` at a consequential site (preferring state the
+/// failing code actually computed), falling back to a random site when
+/// no consequential one is resolvable. Deterministic in `seed`.
+pub fn corrupt_consequential(
+    program: &Program,
+    dump: &mut Coredump,
+    seed: u64,
+    flavor: HwFlavor,
+) -> Option<InjectionReport> {
+    let (regs, mems) = consequential_sites(program, dump);
+    match flavor {
+        HwFlavor::BitFlip => match mems.first() {
+            Some(&addr) => Some(flip_memory_bit_at(dump, addr, (seed % 8) as u8)),
+            None => flip_memory_bit(dump, seed ^ 0xf11b),
+        },
+        HwFlavor::RegCorrupt => match regs.last() {
+            Some(&reg) => Some(corrupt_register_at(dump, 0, reg, seed | 0x10)),
+            None => Some(corrupt_register(dump, seed ^ 0xc0de)),
+        },
     }
 }
 

@@ -27,11 +27,13 @@
 
 pub mod budget;
 pub mod frontier;
+pub mod par;
 pub mod sharded;
 pub mod stats;
 
 pub use budget::{Budget, BudgetMeter, CutReason};
 pub use frontier::{BestFirst, Bfs, Dfs, Frontier, FrontierKind, NodeScore};
+pub use par::{auto_workers, parallel_map};
 pub use sharded::ShardedFrontier;
 pub use stats::{AbandonedSpace, KernelStats, ParallelReport};
 // Re-exported so kernel drivers in other crates can call [`explore`]

@@ -46,8 +46,8 @@ pub mod symctx;
 
 pub use hwerr::{hardware_verdict, HwVerdict};
 pub use kernel::{
-    AbandonedSpace, Budget, CutReason, FrontierKind, KernelStats, NodeScore, ParallelReport,
-    ShardedFrontier,
+    auto_workers, parallel_map, AbandonedSpace, Budget, CutReason, FrontierKind, KernelStats,
+    NodeScore, ParallelReport, ShardedFrontier,
 };
 pub use replay::{replay_suffix, ReplayReport};
 pub use rootcause::{analyze_root_cause, RootCause};

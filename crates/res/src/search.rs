@@ -225,10 +225,7 @@ impl ResConfigBuilder {
     /// duplicate work). Determinism is unaffected — speculate-then-
     /// replay returns byte-identical suffixes for any worker count.
     pub fn workers_auto(mut self) -> Self {
-        let n = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        self.config.workers = n.clamp(1, 8);
+        self.config.workers = crate::kernel::auto_workers();
         self
     }
 

@@ -16,6 +16,24 @@ use res_workloads::FailureReport;
 
 /// Computes the RES bucket key for one report.
 pub fn res_bucket_key(program: &Program, dump: &Coredump, config: &ResConfig) -> String {
+    // A hang has no faulting suffix to synthesize, but its root cause —
+    // the cyclic wait — is directly evident in the dump: the *set* of
+    // blocked sites. Order-normalizing that set (like the §3.1 race
+    // keys) makes the key stable across which thread the reporter
+    // happened to call "faulting", where stack bucketing splits.
+    if let mvm_machine::Fault::Deadlock { threads } = &dump.fault {
+        let mut sites: Vec<String> = threads
+            .iter()
+            .filter_map(|tid| dump.thread(*tid))
+            .map(|t| t.pc().to_string())
+            .collect();
+        if sites.is_empty() {
+            sites = dump.threads.iter().map(|t| t.pc().to_string()).collect();
+        }
+        sites.sort();
+        sites.dedup();
+        return format!("deadlock:{}", sites.join("&"));
+    }
     let engine = ResEngine::new(program, config.clone());
     let result = engine.synthesize(dump);
     for sfx in &result.suffixes {

@@ -8,10 +8,11 @@
 //! away from developers. On a labeled corpus (genuine software failures
 //! plus injected corruptions) precision and recall are measurable.
 
-use mvm_core::{
-    corrupt_register, corrupt_register_at, flip_memory_bit, flip_memory_bit_at, Coredump,
-};
-use mvm_isa::{Inst, Operand, Program, Reg};
+use mvm_core::{corrupt_consequential, Coredump, HwFlavor};
+// Re-exported from its new home in `mvm-core` (the generator needs the
+// same policy to label hardware-variant corpora); existing callers keep
+// importing it from here.
+pub use mvm_core::consequential_sites;
 use res_core::{hardware_verdict, HwVerdict, ResConfig};
 use res_workloads::FailureReport;
 
@@ -64,94 +65,6 @@ impl HwFilterStudy {
     }
 }
 
-/// Sites whose corruption is *consequential* — the §3.2 examples all
-/// corrupt state involved in the failure (the miscomputed addition's
-/// result, the value the program just wrote). Returns registers defined
-/// and global addresses stored by the faulting block's already-executed
-/// portion.
-pub fn consequential_sites(program: &Program, dump: &Coredump) -> (Vec<Reg>, Vec<u64>) {
-    let pc = dump.fault_pc();
-    let scan = |func: mvm_isa::FuncId, block: mvm_isa::BlockId, upto: usize| {
-        let blk = program.func(func).block(block);
-        let mut regs = Vec::new();
-        let mut mems = Vec::new();
-        let mut referenced_globals = Vec::new();
-        // Track statically resolvable register contents (global
-        // addresses; alloc results via the dump's heap table).
-        let mut addr_regs: std::collections::HashMap<Reg, u64> = std::collections::HashMap::new();
-        for inst in blk.insts.iter().take(upto) {
-            match inst {
-                Inst::AddrOf { dst, global } => {
-                    let a = program.global(*global).addr;
-                    addr_regs.insert(*dst, a);
-                    referenced_globals.push(a);
-                }
-                Inst::Alloc { dst, .. } => {
-                    if let Some(meta) = dump.heap_allocs.last() {
-                        addr_regs.insert(*dst, meta.base);
-                    }
-                }
-                _ => {}
-            }
-            if let Some(d) = inst.def_reg() {
-                if !regs.contains(&d) {
-                    regs.push(d);
-                }
-            }
-            if let Inst::Store {
-                addr: Operand::Reg(a),
-                offset,
-                ..
-            } = inst
-            {
-                if let Some(base) = addr_regs.get(a) {
-                    mems.push(base.wrapping_add(*offset as u64));
-                }
-            }
-        }
-        (regs, mems, referenced_globals)
-    };
-    let (regs, mems, referenced) = scan(pc.func, pc.block, pc.inst as usize);
-    // Preference chain for registers: the partial range's own defs (the
-    // most recently computed values — §3.2's "miscomputed addition"),
-    // then the unique predecessor's defs.
-    let mut out_regs = regs;
-    let mut out_mems = mems;
-    let mut out_referenced = referenced;
-    if out_regs.is_empty() || out_mems.is_empty() {
-        let cfg = mvm_isa::cfg::Cfg::build(program.func(pc.func));
-        let preds = cfg.preds(pc.block);
-        if preds.len() == 1 {
-            let blen = program.func(pc.func).block(preds[0]).insts.len();
-            let (pregs, pmems, preferenced) = scan(pc.func, preds[0], blen);
-            if out_regs.is_empty() {
-                out_regs = pregs;
-            }
-            if out_mems.is_empty() {
-                out_mems = pmems;
-            }
-            out_referenced.extend(preferenced);
-        }
-    }
-    // Memory fallback: a global the failing code names whose word is
-    // non-zero (so some execution wrote or depends on it).
-    if out_mems.is_empty() {
-        let blk = program.func(pc.func).block(pc.block);
-        for inst in &blk.insts {
-            if let Inst::AddrOf { global, .. } = inst {
-                out_referenced.push(program.global(*global).addr);
-            }
-        }
-        for a in out_referenced {
-            if dump.memory.read(a, mvm_isa::Width::W8) != 0 {
-                out_mems.push(a);
-                break;
-            }
-        }
-    }
-    (out_regs, out_mems)
-}
-
 /// Corrupts every other report in the corpus (alternating memory flips
 /// and register corruption at consequential sites, falling back to
 /// random sites), runs the filter, and scores it.
@@ -181,26 +94,12 @@ fn filter_corpus_inner(
         let corrupt = i % 2 == 1;
         let dump: Coredump = if corrupt {
             let mut d = r.dump.clone();
-            let (regs, mems) = consequential_sites(&r.program, &r.dump);
-            if i % 4 == 1 {
-                match mems.first() {
-                    Some(&addr) => {
-                        let _ = flip_memory_bit_at(&mut d, addr, (r.seed % 8) as u8);
-                    }
-                    None => {
-                        let _ = flip_memory_bit(&mut d, r.seed ^ 0xf11b);
-                    }
-                }
+            let flavor = if i % 4 == 1 {
+                HwFlavor::BitFlip
             } else {
-                match regs.last() {
-                    Some(&reg) => {
-                        let _ = corrupt_register_at(&mut d, 0, reg, r.seed | 0x10);
-                    }
-                    None => {
-                        let _ = corrupt_register(&mut d, r.seed ^ 0xc0de);
-                    }
-                }
-            }
+                HwFlavor::RegCorrupt
+            };
+            let _ = corrupt_consequential(&r.program, &mut d, r.seed, flavor);
             d
         } else {
             r.dump.clone()

@@ -15,13 +15,22 @@
 //!   every report at a per-program store file inside one directory, so
 //!   bucketing and hardware filtering reuse each other's solver work,
 //!   within and across process runs (experiment E13).
+//! * [`corpus_scale`] — the same three use cases over *generated*
+//!   program populations (`res-gen`): hundreds of distinct labeled
+//!   programs, thread-sharded, rates reported as min/median/max
+//!   distributions (experiments E5c/E6c/E7c).
 
 pub mod bucket;
+pub mod corpus_scale;
 pub mod exploit;
 pub mod hwfilter;
 pub mod store;
 
 pub use bucket::{res_bucket_keys, res_bucket_keys_shared, triage_corpus, TriageComparison};
+pub use corpus_scale::{
+    exploit_scale, hardware_scale, triage_scale, CorpusScaleSpec, Dist, ExploitScaleReport,
+    HwScaleReport, TriageScaleReport,
+};
 pub use exploit::{classify_with_res, exploitability_study, ExploitStudy};
 pub use hwfilter::{filter_corpus, filter_corpus_shared, HwFilterStudy};
 pub use store::{store_path_for, with_shared_store};

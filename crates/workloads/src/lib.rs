@@ -12,8 +12,18 @@
 //! [`corpus`] turns the generators into labeled failure corpora for the
 //! triaging and hardware-error experiments.
 
+//! [`gen`] scales the same idea to *distributions*: a seeded generator
+//! (`res-gen`) emits hundreds of distinct labeled programs per class so
+//! the triage/exploitability/hardware experiments report rate
+//! distributions instead of point samples.
+
 pub mod corpus;
+pub mod gen;
 pub mod progs;
 
 pub use corpus::{generate_corpus, run_to_failure, CorpusSpec, FailureReport};
+pub use gen::{
+    collect_failures, corpus_specs, generate, hardware_variant, GenClass, GenFailure, GenSpec,
+    GeneratedProgram, GroundTruth,
+};
 pub use progs::{build, BugKind, WorkloadParams};

@@ -58,6 +58,17 @@ trace_out="$(cargo run --release -q --bin res-cli -- trace "$scratch_dir/golden.
 echo "$trace_out" | grep -q "synthesize" || { echo "journal missing synthesize span"; exit 1; }
 echo "$trace_out" | grep -q "kernel.nodes_expanded" || { echo "journal missing kernel counters"; exit 1; }
 
+echo "==> corpus-scale smoke gate (seeded generator, E5c/E6c/E7c)"
+# The buggy-program generator + parallel corpus harness: a small
+# generated population (RES_GEN_SMOKE programs per experiment) must hold
+# the same shapes as the full sweep, at a fixed small thread count so CI
+# machines of any width exercise the sharded path identically. The full
+# >=200-program sweep stays out of the hot path — run it explicitly with
+#   cargo run --release -p res-bench --bin harness -- e5c e6c e7c
+RES_GEN_SMOKE=8 RES_HARNESS_THREADS=2 \
+    cargo run --release -q -p res-bench --bin harness -- e5c e6c e7c \
+    | tail -n 1
+
 echo "==> hermetic dependency check"
 "$repo_root/scripts/check_hermetic.sh"
 

@@ -1,0 +1,101 @@
+//! Harness-parallelism determinism at corpus scale: the corpus-scale
+//! experiments shard generated programs across worker threads, and the
+//! contract is that the thread count is *invisible* in every output —
+//! identical aggregate tables at 1 thread and N threads, and res-obs
+//! journals whose counter totals reconcile exactly (counters are
+//! additive, so they cannot depend on which worker counted).
+//!
+//! Companion to `tests/obs_determinism.rs`, which pins the same
+//! contract for the synthesis kernel itself.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use res_debugger::obs::{read_journal, render, Recorder};
+use res_debugger::res::ResConfig;
+use res_debugger::triage::{exploit_scale, hardware_scale, triage_scale, CorpusScaleSpec};
+use res_debugger::workloads::gen::GenClass;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "res-corpus-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small but non-trivial population: several classes, enough programs
+/// that the work actually distributes across 4 workers.
+fn spec(threads: usize) -> CorpusScaleSpec {
+    CorpusScaleSpec {
+        classes: vec![
+            GenClass::DivByZero,
+            GenClass::UseAfterFree,
+            GenClass::DoubleFree,
+        ],
+        programs: 9,
+        reports_per_program: 2,
+        shards: 3,
+        threads,
+        seed: 0xde7e_2141,
+        size: 1,
+    }
+}
+
+/// Runs one corpus-scale experiment at `threads`, journaling to its own
+/// file, and returns (Debug-rendered report, counter totals).
+fn run_at(threads: usize, tag: &str) -> (String, String, String, BTreeMap<String, u64>) {
+    let dir = scratch(&format!("{tag}-store-{threads}"));
+    let journal = std::env::temp_dir().join(format!(
+        "res-corpus-determinism-{tag}-{threads}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = fs::remove_file(&journal);
+    let rec = Recorder::journal(&journal);
+    let config = ResConfig::default();
+    let s = spec(threads);
+
+    let triage = format!("{:?}", triage_scale(&s, &config, &dir, &rec));
+    let exploit = format!("{:?}", exploit_scale(&s, &config, &dir, &rec));
+    let hw = format!("{:?}", hardware_scale(&s, &config, &dir, &rec));
+    rec.finish();
+
+    let events = read_journal(&journal).expect("journal parses");
+    let totals = render::counter_totals(&events);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_file(&journal);
+    (triage, exploit, hw, totals)
+}
+
+#[test]
+fn corpus_scale_reports_are_thread_count_invariant() {
+    let (t1, e1, h1, c1) = run_at(1, "a");
+    let (t4, e4, h4, c4) = run_at(4, "b");
+
+    // Every aggregate table — per-shard distributions, pooled rates,
+    // report counts — is byte-identical across thread counts.
+    assert_eq!(t1, t4, "triage_scale depends on the thread count");
+    assert_eq!(e1, e4, "exploit_scale depends on the thread count");
+    assert_eq!(h1, h4, "hardware_scale depends on the thread count");
+
+    // The journals reconcile: additive counter totals are equal even
+    // though the 4-thread run interleaved them differently.
+    for key in [
+        "corpus.triage.programs",
+        "corpus.triage.reports",
+        "corpus.exploit.programs",
+        "corpus.exploit.reports",
+        "corpus.hwfilter.programs",
+    ] {
+        assert!(c1.contains_key(key), "missing counter {key}: {c1:?}");
+    }
+    assert_eq!(c1, c4, "journal counter totals diverge across threads");
+
+    // Sanity-pin the population arithmetic so a silent work drop cannot
+    // masquerade as determinism.
+    assert_eq!(c1["corpus.triage.programs"], 9);
+    assert_eq!(c1["corpus.triage.reports"], 18);
+}

@@ -1,0 +1,87 @@
+//! Golden-fixture regression for the `res-gen` generator.
+//!
+//! The generator's determinism contract says: same `GenSpec` → byte-
+//! identical assembly, byte-identical assembled program, the same
+//! schedule hint, and therefore the same first-failure coredump. The
+//! fixture pins all of that for a fixed seed grid across every class,
+//! so any unintentional drift — a reordered rng draw, a template tweak,
+//! a serialization change — fails CI even when the generator still
+//! "works".
+//!
+//! To regenerate after an *intentional* generator change:
+//!
+//! ```text
+//! RES_REGEN_FIXTURES=1 cargo test --test gen_golden
+//! ```
+
+use std::path::PathBuf;
+
+use res_debugger::store::fnv64;
+use res_debugger::workloads::gen::{collect_failures, generate, GenClass, GenSpec};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("RES_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, format!("{rendered}\n")).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with RES_REGEN_FIXTURES=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden.trim_end(),
+        rendered,
+        "fixture {name} drifted: the generator no longer emits the same \
+         programs/dumps for a fixed GenSpec; if the change is \
+         intentional, regenerate with RES_REGEN_FIXTURES=1"
+    );
+}
+
+/// One fixture line per (class, seed): the ground truth plus digests of
+/// the serialized program and first-failure coredump.
+fn render() -> String {
+    let mut out = String::new();
+    for class in GenClass::ALL {
+        for seed in [3u64, 11] {
+            let spec = GenSpec {
+                seed,
+                class,
+                size: 1,
+            };
+            let gp = generate(spec);
+            let failure = &collect_failures(&gp, 1)[0];
+            out.push_str(&format!(
+                "{cls} seed={seed} site={site} hint={hint} prog=fnv64:{p:016x} \
+                 fault={fault} dump=fnv64:{d:016x}\n",
+                cls = class.name(),
+                site = gp.truth.site,
+                hint = gp.truth.schedule_hint,
+                p = fnv64(mvm_json::to_string(&gp.program).as_bytes()),
+                fault = failure.fault_class,
+                d = fnv64(mvm_json::to_string(&failure.dump).as_bytes()),
+            ));
+        }
+    }
+    out.trim_end().to_string()
+}
+
+#[test]
+fn generator_output_is_pinned() {
+    check_golden("gen_golden.txt", &render());
+}
+
+#[test]
+fn regeneration_is_reproducible_within_one_process() {
+    // The fixture pins cross-process determinism; this pins the cheaper
+    // in-process half without touching the file.
+    assert_eq!(render(), render());
+}

@@ -1,0 +1,147 @@
+//! Scale test for the shared solver-store directory: hundreds of
+//! *distinct* generated programs route their engine queries through one
+//! directory (one `<fingerprint>.resstore` file each — the corpus-scale
+//! experiments' layout), and every file must reopen cleanly with sane
+//! supersedure accounting.
+//!
+//! Kept to one store-populating pass + cheap reopen passes so the suite
+//! stays fast: the per-report engine behaviour is covered by the triage
+//! tests; this file is about the store *directory* at corpus scale.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use res_debugger::res::{auto_workers, parallel_map, ResConfig};
+use res_debugger::store::{program_fingerprint, LoadOutcome, SolverStore};
+use res_debugger::triage::bucket::res_bucket_key;
+use res_debugger::triage::{store_path_for, with_shared_store};
+use res_debugger::workloads::gen::{collect_failures, corpus_specs, generate, GenClass};
+
+/// Corpus size. Release builds sweep the full ~500-fingerprint
+/// population; debug builds (plain `cargo test`) keep the same shape
+/// over a smaller slice so the suite stays interactive.
+const PROGRAMS: usize = if cfg!(debug_assertions) { 120 } else { 500 };
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("res-store-scale-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn hundreds_of_fingerprints_share_one_store_directory() {
+    let dir = scratch_dir("main");
+    let config = ResConfig::default();
+    let specs = corpus_specs(&[GenClass::DivByZero], PROGRAMS, 0x5702e_5ca1e, 1);
+
+    // One report per program, engine routed through the shared dir.
+    let keyed: Vec<(u64, String)> = parallel_map(&specs, auto_workers(), |_, spec| {
+        let gp = generate(*spec);
+        let failure = &collect_failures(&gp, 1)[0];
+        let cfg = with_shared_store(&config, &dir, &gp.program);
+        let key = res_bucket_key(&gp.program, &failure.dump, &cfg);
+        (program_fingerprint(&gp.program), key)
+    });
+
+    // Every report was explained (no stack-signature fallback), and the
+    // population is genuinely many distinct programs.
+    for (fp, key) in &keyed {
+        assert!(
+            !key.starts_with("unexplained:"),
+            "program {fp:016x} fell back to the stack signature: {key}"
+        );
+    }
+    let fps: BTreeSet<u64> = keyed.iter().map(|(fp, _)| *fp).collect();
+    assert!(
+        fps.len() >= PROGRAMS * 95 / 100,
+        "expected ~{PROGRAMS} distinct fingerprints, got {}",
+        fps.len()
+    );
+
+    // Exactly one store file per distinct fingerprint, named by it.
+    let mut files: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), fps.len(), "one .resstore file per program");
+    for fp in &fps {
+        assert!(files.binary_search(&format!("{fp:016x}.resstore")).is_ok());
+    }
+
+    // Every file reopens clean: loaded header, live entries, nothing
+    // superseded or torn on a single-writer population pass.
+    let mut total_entries = 0usize;
+    for name in &files {
+        let store = SolverStore::open_for_inspection(dir.join(name));
+        let report = *store.load_report();
+        assert_eq!(report.outcome, LoadOutcome::Loaded, "{name}");
+        assert!(report.entries_loaded >= 1, "{name} committed no entries");
+        assert_eq!(report.superseded, 0, "{name}");
+        assert_eq!(report.records_skipped, 0, "{name}");
+        assert_eq!(store.len(), report.entries_loaded, "{name}");
+        total_entries += store.len();
+    }
+    assert!(total_entries >= fps.len());
+
+    // Warm reopen: the populated directory answers a second pass with
+    // identical keys (absorb is correct, not just harmless).
+    let warm: Vec<(u64, String)> = specs[..8.min(specs.len())]
+        .iter()
+        .map(|spec| {
+            let gp = generate(*spec);
+            let failure = &collect_failures(&gp, 1)[0];
+            let cfg = with_shared_store(&config, &dir, &gp.program);
+            (
+                program_fingerprint(&gp.program),
+                res_bucket_key(&gp.program, &failure.dump, &cfg),
+            )
+        })
+        .collect();
+    assert_eq!(&keyed[..warm.len()], &warm[..], "warm keys drifted");
+
+    // Supersedure accounting: duplicating a file's entry records (what
+    // a crash-interrupted rewriting writer would leave) must show up as
+    // superseded records, not extra entries.
+    let victim = dir.join(&files[0]);
+    let text = fs::read_to_string(&victim).unwrap();
+    let entry_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("E ")).collect();
+    assert!(!entry_lines.is_empty());
+    let mut appended = text.clone();
+    for l in &entry_lines {
+        appended.push_str(l);
+        appended.push('\n');
+    }
+    fs::write(&victim, appended).unwrap();
+    let dup = SolverStore::open_for_inspection(&victim);
+    let report = *dup.load_report();
+    assert_eq!(report.outcome, LoadOutcome::Loaded);
+    assert_eq!(report.superseded, entry_lines.len(), "duplicates supersede");
+    assert_eq!(
+        report.entries_loaded,
+        entry_lines.len(),
+        "live set unchanged"
+    );
+
+    // Portable export round-trip: one program's entries merge into a
+    // fresh store file and commit byte-countably.
+    let gp = generate(specs[1]);
+    let fp = program_fingerprint(&gp.program);
+    let src = SolverStore::open(store_path_for(&dir, &gp.program), fp);
+    assert!(src.len() >= 1);
+    let export = src.to_portable();
+    let dir2 = scratch_dir("merge");
+    let mut fresh = SolverStore::open(store_path_for(&dir2, &gp.program), fp);
+    assert_eq!(fresh.load_report().outcome, LoadOutcome::Missing);
+    assert_eq!(fresh.merge(&export), src.len(), "all entries are new");
+    let commit = fresh.commit().unwrap();
+    assert_eq!(commit.appended, src.len());
+    assert!(!commit.skipped_read_only);
+    let back = SolverStore::open_for_inspection(store_path_for(&dir2, &gp.program));
+    assert_eq!(back.len(), src.len());
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir2);
+}

@@ -1,0 +1,489 @@
+//! Subtree-verdict certification and consultation for [`explore`].
+//!
+//! The speculate-then-replay pipeline certifies subtrees as it
+//! explores: a [`VerdictCollector`] watches the kernel loop, maintains
+//! one frame per node currently being explored (a stack, because DFS
+//! pops every descendant of a node before any non-descendant), and
+//! closes a frame — attributing the exact [`SubtreeStats`] the subtree
+//! cost — the moment the loop pops a node outside it. A closed frame
+//! becomes a [`VerdictRecord`] when it is *certifiable*:
+//!
+//! * its exploration was never cut short (budget cuts and artifact caps
+//!   abort every still-open frame),
+//! * every solver answer consumed inside was renaming-equivariant (the
+//!   driver's [`YieldProbe::private_results`] delta stayed zero), and
+//! * for sharded workers, the frame lies strictly below the first-
+//!   branch split point, so this worker owned the subtree outright
+//!   (frames that enclose the split saw only a 1/N shard of it).
+//!
+//! On the consulting side, [`SpeculativeYield::consult`] lets a replay
+//! skip a subtree certified [`VerdictKind::Exhausted`] — provided the
+//! skip cannot perturb budget admission ([`skip_admissible`]): node
+//! accounting is folded in exactly, wall-clock deadlines and solver-
+//! assignment caps disable skipping outright (elapsed time is not
+//! reconstructible, and assignment totals can legitimately differ from
+//! a full run when an α-duplicate query crosses the subtree boundary).
+//!
+//! Certification is only meaningful under [`FrontierKind::Dfs`]
+//! (subtree contiguity); the engine gates on that before wiring either
+//! side up.
+//!
+//! [`explore`]: super::explore
+//! [`FrontierKind::Dfs`]: super::frontier::FrontierKind
+
+use mvm_symbolic::verdict::{SubtreeStats, VerdictKind, VerdictRecord, VerdictSet};
+
+use super::budget::Budget;
+use super::frontier::EnumPath;
+use super::stats::KernelStats;
+
+/// Driver-side accounting snapshot consumed by the certifier; deltas
+/// around one node expansion attribute that node's solver work and
+/// symbol minting to the enclosing subtree frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct YieldProbe {
+    /// Cumulative solver enumeration assignments spent.
+    pub assignments: u64,
+    /// Cumulative non-equivariant (private) solver answers served.
+    pub private_results: u64,
+    /// Cumulative symbolic variables minted.
+    pub syms: u64,
+}
+
+/// The speculative-yield wiring for one [`explore`](super::explore)
+/// call: an optional verdict set to consult for skips, an optional
+/// collector to certify into. Both default to off.
+#[derive(Default)]
+pub struct SpeculativeYield<'a> {
+    /// Certified subtrees the loop may skip.
+    pub consult: Option<&'a VerdictSet>,
+    /// Certifier observing this exploration.
+    pub collector: Option<&'a mut VerdictCollector>,
+}
+
+impl SpeculativeYield<'_> {
+    /// Neither consulting nor collecting.
+    pub fn none() -> Self {
+        SpeculativeYield::default()
+    }
+}
+
+/// `true` when replay may skip the subtree certified by `v` without
+/// perturbing budget admission: node totals stay exact by folding, but
+/// a wall-clock deadline cannot be replayed into the fold at all, and
+/// an assignment cap is declined because assignment totals are the one
+/// counter that can legitimately differ from a full run (an exact-
+/// duplicate query crossing the subtree boundary is charged once by a
+/// full run but twice by a skipping run).
+pub fn skip_admissible(budget: &Budget, stats: &KernelStats, v: &VerdictRecord) -> bool {
+    if budget.deadline.is_some() || budget.max_solver_assignments.is_some() {
+        return false;
+    }
+    stats.nodes_expanded + stats.skipped.nodes + v.stats.nodes <= budget.max_nodes
+}
+
+/// One node currently being explored.
+struct Frame {
+    path: EnumPath,
+    stats: SubtreeStats,
+    /// A private (non-equivariant) solver answer was consumed inside
+    /// this subtree (own expansion, any descendant, or inherited from
+    /// an ancestor): the frame cannot certify.
+    tainted: bool,
+    /// The downward-flowing part of the taint: the node's *own*
+    /// expansion (or an ancestor's) consumed a private answer, which
+    /// can change the children it admits — so every later-opened
+    /// descendant inherits it. Taint folded up from a closed child
+    /// subtree deliberately does not flow here: it cannot influence a
+    /// sibling opened afterwards (a private answer re-served inside the
+    /// sibling is counted in the sibling's own probe delta).
+    inherit_taint: bool,
+    /// The frame encloses a sharded worker's split point: this worker
+    /// explored only its 1/N shard of the subtree, so no certificate.
+    shared: bool,
+    /// `records.len()` when the frame opened; everything emitted since
+    /// lies inside this subtree (DFS contiguity), so an `Exhausted`
+    /// close subsumes it by truncation.
+    records_mark: usize,
+}
+
+/// Certifies subtree verdicts for one exploration (see module docs).
+pub struct VerdictCollector {
+    scope: u64,
+    origin: u32,
+    /// Worker-shard gating: when `true`, the first ≥2-child expansion
+    /// marks every open frame `shared`.
+    sharded: bool,
+    branch_seen: bool,
+    open: Vec<Frame>,
+    records: Vec<VerdictRecord>,
+}
+
+impl VerdictCollector {
+    /// Collector for speculative worker `worker` of a sharded run:
+    /// frames that enclose the first-branch split point are never
+    /// certified.
+    pub fn for_worker(scope: u64, worker: u32) -> Self {
+        VerdictCollector {
+            scope,
+            origin: worker,
+            sharded: true,
+            branch_seen: false,
+            open: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Collector for the sequential replay (or any unsharded run):
+    /// every fully-explored untainted frame certifies, with
+    /// [`REPLAY_ORIGIN`](mvm_symbolic::REPLAY_ORIGIN) provenance.
+    pub fn for_replay(scope: u64) -> Self {
+        VerdictCollector {
+            scope,
+            origin: mvm_symbolic::REPLAY_ORIGIN,
+            sharded: false,
+            branch_seen: false,
+            open: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The scope fingerprint records are stamped with.
+    pub fn scope(&self) -> u64 {
+        self.scope
+    }
+
+    /// Called on every pop: closes (and certifies) every frame the
+    /// popped node is *not* inside. Under DFS a node outside a frame
+    /// proves the frame's subtree fully explored.
+    pub fn on_pop(&mut self, path: &EnumPath) {
+        while let Some(top) = self.open.last() {
+            let inside = path.starts_with(top.path.as_slice()) && path.len() > top.path.len();
+            if inside {
+                break;
+            }
+            self.close_top();
+        }
+    }
+
+    /// Opens a frame for the node about to be expanded. Must follow
+    /// [`on_pop`](Self::on_pop) for the same path.
+    ///
+    /// The frame inherits its parent's taint: a private solver answer
+    /// consumed at an ancestor can change which children the ancestor
+    /// admits under symbol renaming, so nothing below a tainted node is
+    /// provably isomorphic to the replay's subtree at the same path.
+    pub fn open(&mut self, path: &EnumPath) {
+        let inherited = self.open.last().is_some_and(|f| f.inherit_taint);
+        self.open.push(Frame {
+            path: path.clone(),
+            stats: SubtreeStats::default(),
+            tainted: inherited,
+            inherit_taint: inherited,
+            shared: false,
+            records_mark: self.records.len(),
+        });
+    }
+
+    /// Observes one expansion's surviving-children count; for sharded
+    /// workers the first genuine branch (≥ 2 children) marks every open
+    /// frame as shard-shared (matching `ShardedFrontier`'s split rule).
+    pub fn on_extend(&mut self, children: usize) {
+        if self.sharded && !self.branch_seen && children >= 2 {
+            self.branch_seen = true;
+            for f in &mut self.open {
+                f.shared = true;
+            }
+        }
+    }
+
+    /// Attributes one expanded node's exact accounting to the innermost
+    /// frame (which [`open`](Self::open) just pushed for that node).
+    pub fn attribute(&mut self, node_stats: &SubtreeStats, tainted: bool) {
+        if let Some(top) = self.open.last_mut() {
+            top.stats.absorb(node_stats);
+            top.tainted |= tainted;
+            top.inherit_taint |= tainted;
+        }
+    }
+
+    /// Observes the replay skipping a certified subtree: its exact
+    /// accounting folds into the enclosing frame (keeping re-certified
+    /// ancestors exact) and the record is re-emitted verbatim, so the
+    /// certificate — with its original worker provenance — survives
+    /// into this run's export even though the subtree was never walked.
+    pub fn on_skip(&mut self, record: &VerdictRecord) {
+        if let Some(top) = self.open.last_mut() {
+            top.stats.absorb(&record.stats);
+        }
+        self.records.push(record.clone());
+    }
+
+    /// Ends the exploration. `aborted` (a budget cut or the artifact
+    /// cap) discards every still-open frame — their subtrees were not
+    /// fully explored — while a natural end (frontier exhausted) closes
+    /// and certifies them. [`explore`](super::explore) calls this;
+    /// the owner then harvests via [`into_records`](Self::into_records).
+    pub fn seal(&mut self, aborted: bool) {
+        if aborted {
+            self.open.clear();
+        } else {
+            while !self.open.is_empty() {
+                self.close_top();
+            }
+        }
+    }
+
+    /// Consumes the collector into the certificates it gathered.
+    pub fn into_records(self) -> Vec<VerdictRecord> {
+        self.records
+    }
+
+    fn close_top(&mut self) {
+        let frame = self.open.pop().expect("close_top on empty stack");
+        let certifiable = !frame.tainted && !frame.shared;
+        if certifiable {
+            let kind = if frame.stats.artifacts > 0 {
+                VerdictKind::HasArtifact
+            } else {
+                VerdictKind::Exhausted
+            };
+            if kind == VerdictKind::Exhausted {
+                // Subsume: everything emitted since this frame opened
+                // lies inside it, and one exhausted-subtree certificate
+                // covers it all.
+                self.records.truncate(frame.records_mark);
+            }
+            self.records.push(VerdictRecord {
+                scope: self.scope,
+                worker: self.origin,
+                path: frame.path.clone().into_vec(),
+                kind,
+                stats: frame.stats,
+            });
+        }
+        // Fold into the parent regardless: parents must account every
+        // child subtree, certified or not, and a tainted child taints
+        // every ancestor.
+        if let Some(parent) = self.open.last_mut() {
+            parent.stats.absorb(&frame.stats);
+            parent.tainted |= frame.tainted;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(nodes: u64) -> SubtreeStats {
+        SubtreeStats {
+            nodes,
+            ..SubtreeStats::default()
+        }
+    }
+
+    fn p(ix: &[u32]) -> EnumPath {
+        EnumPath::from(ix.to_vec())
+    }
+
+    #[test]
+    fn exhausted_parent_subsumes_child_records() {
+        // Tree: root [] → child [0] → grandchildren [0,0], [0,1]; no
+        // artifacts anywhere. A clean finish must certify exactly one
+        // record: the root, subsuming everything below it.
+        let mut c = VerdictCollector::for_replay(42);
+        for path in [p(&[]), p(&[0]), p(&[0, 0]), p(&[0, 1])] {
+            c.on_pop(&path);
+            c.open(&path);
+            c.attribute(&node(1), false);
+        }
+        c.seal(false);
+        let records = c.into_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].path, Vec::<u32>::new());
+        assert_eq!(records[0].kind, VerdictKind::Exhausted);
+        assert_eq!(records[0].stats.nodes, 4);
+        assert_eq!(records[0].scope, 42);
+        assert_eq!(records[0].worker, mvm_symbolic::REPLAY_ORIGIN);
+    }
+
+    #[test]
+    fn artifact_frames_keep_exhausted_siblings() {
+        // [0] produces an artifact, [1]'s subtree is exhausted: the
+        // root is HasArtifact, [0] is HasArtifact, [1] is Exhausted.
+        let mut c = VerdictCollector::for_replay(1);
+        c.on_pop(&p(&[]));
+        c.open(&p(&[]));
+        c.attribute(&node(1), false);
+        c.on_pop(&p(&[0]));
+        c.open(&p(&[0]));
+        c.attribute(
+            &SubtreeStats {
+                nodes: 1,
+                artifacts: 1,
+                ..SubtreeStats::default()
+            },
+            false,
+        );
+        c.on_pop(&p(&[1]));
+        c.open(&p(&[1]));
+        c.attribute(&node(1), false);
+        c.seal(false);
+        let records = c.into_records();
+        let kinds: Vec<(Vec<u32>, VerdictKind)> =
+            records.iter().map(|r| (r.path.clone(), r.kind)).collect();
+        assert!(kinds.contains(&(vec![0], VerdictKind::HasArtifact)));
+        assert!(kinds.contains(&(vec![1], VerdictKind::Exhausted)));
+        assert!(kinds.contains(&(vec![], VerdictKind::HasArtifact)));
+        let root = records.iter().find(|r| r.path.is_empty()).unwrap();
+        assert_eq!(root.stats.nodes, 3, "parent folds both children");
+        assert_eq!(root.stats.artifacts, 1);
+    }
+
+    #[test]
+    fn taint_blocks_certification_and_propagates_up() {
+        let mut c = VerdictCollector::for_replay(1);
+        c.on_pop(&p(&[]));
+        c.open(&p(&[]));
+        c.attribute(&node(1), false);
+        c.on_pop(&p(&[0]));
+        c.open(&p(&[0]));
+        c.attribute(&node(1), true); // private solver answer inside
+        c.on_pop(&p(&[1]));
+        c.open(&p(&[1]));
+        c.attribute(&node(1), false);
+        c.seal(false);
+        let records = c.into_records();
+        // Only the untainted sibling certifies; [0] and the root do not.
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].path, vec![1]);
+    }
+
+    #[test]
+    fn taint_inherits_downward_at_open() {
+        // The root's own expansion consumed a private answer: nothing
+        // below it is provably replay-isomorphic, so no frame certifies
+        // even though the descendants were individually clean.
+        let mut c = VerdictCollector::for_replay(1);
+        c.on_pop(&p(&[]));
+        c.open(&p(&[]));
+        c.attribute(&node(1), true);
+        c.on_pop(&p(&[0]));
+        c.open(&p(&[0]));
+        c.attribute(&node(1), false);
+        c.on_pop(&p(&[0, 0]));
+        c.open(&p(&[0, 0]));
+        c.attribute(&node(1), false);
+        c.seal(false);
+        assert!(c.into_records().is_empty());
+    }
+
+    #[test]
+    fn abort_discards_open_frames_but_keeps_closed_ones() {
+        let mut c = VerdictCollector::for_replay(1);
+        c.on_pop(&p(&[]));
+        c.open(&p(&[]));
+        c.attribute(&node(1), false);
+        c.on_pop(&p(&[0]));
+        c.open(&p(&[0]));
+        c.attribute(&node(1), false);
+        // Popping [1] closes [0] (fully explored) ...
+        c.on_pop(&p(&[1]));
+        c.open(&p(&[1]));
+        c.attribute(&node(1), false);
+        // ... then a budget cut aborts with [] and [1] still open.
+        c.seal(true);
+        let records = c.into_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].path, vec![0]);
+    }
+
+    #[test]
+    fn sharded_split_marks_enclosing_frames_shared() {
+        let mut c = VerdictCollector::for_worker(1, 0);
+        c.on_pop(&p(&[]));
+        c.open(&p(&[]));
+        c.attribute(&node(1), false);
+        c.on_extend(3); // the first branch: root frame becomes shared
+        c.on_pop(&p(&[0]));
+        c.open(&p(&[0]));
+        c.attribute(&node(1), false);
+        c.on_extend(1); // single child below the split: no effect
+        c.on_pop(&p(&[0, 0]));
+        c.open(&p(&[0, 0]));
+        c.attribute(&node(1), false);
+        c.seal(false);
+        let records = c.into_records();
+        // [0] certifies (opened after the split, subsuming [0,0]); the
+        // root does not (it only saw worker 0's shard).
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].path, vec![0]);
+        assert_eq!(records[0].worker, 0);
+        assert_eq!(records[0].stats.nodes, 2);
+    }
+
+    #[test]
+    fn skip_passthrough_folds_into_parent_and_reemits() {
+        let skipped = VerdictRecord {
+            scope: 9,
+            worker: 3,
+            path: vec![0],
+            kind: VerdictKind::Exhausted,
+            stats: node(7),
+        };
+        let mut c = VerdictCollector::for_replay(9);
+        c.on_pop(&p(&[]));
+        c.open(&p(&[]));
+        c.attribute(&node(1), false);
+        c.on_pop(&p(&[0]));
+        c.on_skip(&skipped); // replay skipped [0] on worker 3's word
+        c.on_pop(&p(&[1]));
+        c.open(&p(&[1]));
+        c.attribute(&node(1), false);
+        c.seal(false);
+        let records = c.into_records();
+        // Root certifies Exhausted with the skipped subtree folded in,
+        // subsuming both the passthrough and the [1] record.
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].path, Vec::<u32>::new());
+        assert_eq!(records[0].stats.nodes, 9);
+    }
+
+    #[test]
+    fn skip_admissibility_respects_budgets() {
+        let v = VerdictRecord {
+            scope: 0,
+            worker: 0,
+            path: vec![0],
+            kind: VerdictKind::Exhausted,
+            stats: node(10),
+        };
+        let stats = KernelStats {
+            nodes_expanded: 5,
+            ..KernelStats::default()
+        };
+        let fits = Budget {
+            max_nodes: 15,
+            ..Budget::default()
+        };
+        assert!(skip_admissible(&fits, &stats, &v));
+        let tight = Budget {
+            max_nodes: 14,
+            ..Budget::default()
+        };
+        assert!(!skip_admissible(&tight, &stats, &v));
+        let deadline = Budget {
+            max_nodes: 100,
+            deadline: Some(std::time::Duration::from_secs(60)),
+            ..Budget::default()
+        };
+        assert!(!skip_admissible(&deadline, &stats, &v));
+        let capped = Budget {
+            max_nodes: 100,
+            max_solver_assignments: Some(1_000_000),
+            ..Budget::default()
+        };
+        assert!(!skip_admissible(&capped, &stats, &v));
+    }
+}

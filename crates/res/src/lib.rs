@@ -46,8 +46,8 @@ pub mod symctx;
 
 pub use hwerr::{hardware_verdict, HwVerdict};
 pub use kernel::{
-    auto_workers, parallel_map, AbandonedSpace, Budget, CutReason, FrontierKind, KernelStats,
-    NodeScore, ParallelReport, ShardedFrontier,
+    auto_workers, parallel_map, AbandonedSpace, Budget, CutReason, EnumPath, FrontierKind,
+    KernelStats, NodeScore, ParallelReport, ShardedFrontier, SpeculativeYield, VerdictCollector,
 };
 pub use replay::{replay_suffix, ReplayReport};
 pub use rootcause::{analyze_root_cause, RootCause};

@@ -54,12 +54,24 @@
 //!   earlier record and [`SolverStore::compact`] drops the dead ones.
 //! * `S` stats records are the observability block ([`StoreStats`]);
 //!   append-only like everything else, last one wins.
+//! * `V` records are subtree-verdict certificates
+//!   ([`mvm_symbolic::VerdictRecord`]): exhaustion/artifact verdicts
+//!   keyed by canonical enumeration path and scoped to one
+//!   (dump, search-configuration) fingerprint, which let a later
+//!   replay over the same scope skip certified-exhausted subtrees
+//!   outright (see `res-core`'s speculative yield). They ride the same
+//!   framing as every other record; builds that predate them see an
+//!   unknown uppercase tag and skip them, so no format-version bump was
+//!   needed and old stores (with no `V` records) simply prune nothing.
 //! * Records with an unknown tag but valid framing are skipped, so
 //!   later format minor-extensions stay readable.
 //!
 //! Commits are atomic: the new content is written to a sibling
 //! temporary file and `rename`d over the store, so a crash mid-commit
-//! never corrupts previously-committed records.
+//! never corrupts previously-committed records. After a commit the
+//! store also compacts itself when supersedure garbage exceeds a
+//! configurable fraction of the file
+//! ([`SolverStore::set_auto_compact`]).
 
 mod format;
 mod store;
@@ -67,5 +79,5 @@ mod store;
 pub use format::{fnv64, Header, FORMAT_VERSION, MAGIC};
 pub use store::{
     program_fingerprint, CommitReport, CompactReport, LoadOutcome, LoadReport, SolverStore,
-    StoreStats,
+    StoreStats, DEFAULT_AUTO_COMPACT_RATIO,
 };

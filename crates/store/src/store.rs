@@ -1,12 +1,12 @@
 //! The store proper: open/validate, absorb, append, commit, compact.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 
 use mvm_isa::Program;
 use mvm_json::json_struct;
-use mvm_symbolic::{CanonFp, PortableCache, PortableResult, SolverSession};
+use mvm_symbolic::{CanonFp, PortableCache, PortableResult, SolverSession, VerdictRecord};
 use res_obs::Recorder;
 
 use crate::format::{
@@ -20,6 +20,10 @@ use crate::format::{
 pub fn program_fingerprint(program: &Program) -> u64 {
     fnv64(mvm_json::to_string(program).as_bytes())
 }
+
+/// Default [`SolverStore::set_auto_compact`] threshold: compact when
+/// more than half the on-disk entry records are supersedure garbage.
+pub const DEFAULT_AUTO_COMPACT_RATIO: f64 = 0.5;
 
 /// What [`SolverStore::open`] found on disk. Every outcome other than
 /// [`Loaded`](LoadOutcome::Loaded) is a *cold start*: the store opens
@@ -55,6 +59,9 @@ pub struct LoadReport {
     /// On-disk entry records shadowed by a later record for the same
     /// fingerprint ([`SolverStore::compact`] reclaims them).
     pub superseded: usize,
+    /// Subtree-verdict certificates loaded (after `(scope, path)`
+    /// dedup).
+    pub verdicts_loaded: usize,
     /// Trailing records dropped as torn or corrupted.
     pub records_skipped: usize,
     /// Bytes read from disk.
@@ -67,6 +74,7 @@ impl LoadReport {
             outcome,
             entries_loaded: 0,
             superseded: 0,
+            verdicts_loaded: 0,
             records_skipped: 0,
             bytes,
         }
@@ -149,6 +157,12 @@ pub struct SolverStore {
     entries: BTreeMap<CanonFp, PortableResult>,
     /// Entries merged since the last commit, in merge order.
     pending: Vec<(CanonFp, PortableResult)>,
+    /// All live subtree-verdict certificates, in load-then-merge order.
+    verdicts: Vec<VerdictRecord>,
+    /// `(scope, path)` keys already held, for first-wins dedup.
+    verdict_keys: BTreeSet<(u64, Vec<u32>)>,
+    /// Verdicts merged since the last commit, in merge order.
+    pending_verdicts: Vec<VerdictRecord>,
     stats: StoreStats,
     report: LoadReport,
     /// The validated byte prefix of the on-disk file; commits append
@@ -158,6 +172,11 @@ pub struct SolverStore {
     base_entry_records: usize,
     read_only: bool,
     hits_dirty: bool,
+    /// Auto-compaction threshold: after a commit, when the fraction of
+    /// on-disk entry records made garbage by supersedure strictly
+    /// exceeds this ratio, the store compacts itself (see
+    /// [`set_auto_compact`](Self::set_auto_compact)). `None` disables.
+    auto_compact: Option<f64>,
     /// Passive observer: open/degraded/commit/compact marks. The caller
     /// hands in an already-scoped recorder (the engine uses
     /// `rec.scoped("store")`), so event names here stay bare. Never
@@ -183,12 +202,16 @@ impl SolverStore {
             header: Header::new(program_fp),
             entries: BTreeMap::new(),
             pending: Vec::new(),
+            verdicts: Vec::new(),
+            verdict_keys: BTreeSet::new(),
+            pending_verdicts: Vec::new(),
             stats: StoreStats::default(),
             report: LoadReport::cold(LoadOutcome::Missing, 0),
             base: Vec::new(),
             base_entry_records: 0,
             read_only: false,
             hits_dirty: false,
+            auto_compact: Some(DEFAULT_AUTO_COMPACT_RATIO),
             recorder,
         };
         store.load(program_fp);
@@ -314,6 +337,13 @@ impl SolverStore {
                     self.stats = mvm_json::from_str(payload).ok()?;
                     Some(None)
                 }
+                Tag::Verdict => {
+                    let rec: VerdictRecord = mvm_json::from_str(payload).ok()?;
+                    if self.verdict_keys.insert((rec.scope, rec.path.clone())) {
+                        self.verdicts.push(rec);
+                    }
+                    Some(None)
+                }
                 // Stray headers and future record kinds are preserved
                 // but carry no entries for this build.
                 Tag::Header | Tag::Unknown(_) => Some(None),
@@ -337,6 +367,7 @@ impl SolverStore {
             outcome: LoadOutcome::Loaded,
             entries_loaded: self.entries.len(),
             superseded,
+            verdicts_loaded: self.verdicts.len(),
             records_skipped,
             bytes,
         };
@@ -386,6 +417,15 @@ impl SolverStore {
         self.read_only
     }
 
+    /// Sets the auto-compaction threshold checked after every commit:
+    /// when `superseded_records / entry_records` strictly exceeds the
+    /// ratio, the commit is followed by a [`compact`](Self::compact)
+    /// (marked `compact.auto` in the trace). `None` disables; the
+    /// default is [`DEFAULT_AUTO_COMPACT_RATIO`].
+    pub fn set_auto_compact(&mut self, threshold: Option<f64>) {
+        self.auto_compact = threshold;
+    }
+
     /// All live entries as a portable cache, in deterministic
     /// (fingerprint) order.
     pub fn to_portable(&self) -> PortableCache {
@@ -395,6 +435,10 @@ impl SolverStore {
                 .iter()
                 .map(|(fp, r)| (*fp, r.clone()))
                 .collect(),
+            // Verdicts travel on their own channel
+            // ([`verdicts_for`](Self::verdicts_for)); the portable view
+            // exists for solver-cache absorption, which ignores them.
+            verdicts: Vec::new(),
         }
     }
 
@@ -405,6 +449,35 @@ impl SolverStore {
         if !self.entries.is_empty() {
             session.absorb_from_store(&self.to_portable());
         }
+    }
+
+    /// All live subtree-verdict certificates, in load-then-merge order.
+    pub fn verdicts(&self) -> &[VerdictRecord] {
+        &self.verdicts
+    }
+
+    /// The live certificates valid for `scope`, in load-then-merge
+    /// order.
+    pub fn verdicts_for(&self, scope: u64) -> impl Iterator<Item = &VerdictRecord> {
+        self.verdicts.iter().filter(move |r| r.scope == scope)
+    }
+
+    /// Merges subtree-verdict certificates, keeping only `(scope,
+    /// path)` keys the store does not already hold (certificates for
+    /// the same key are exact replicas by construction, so first wins).
+    /// Returns how many were new; they are appended on the next
+    /// [`commit`](Self::commit).
+    pub fn merge_verdicts(&mut self, records: &[VerdictRecord]) -> usize {
+        let mut added = 0;
+        for r in records {
+            if !self.verdict_keys.insert((r.scope, r.path.clone())) {
+                continue;
+            }
+            self.verdicts.push(r.clone());
+            self.pending_verdicts.push(r.clone());
+            added += 1;
+        }
+        added
     }
 
     /// Merges a session's portable export, keeping only fingerprints
@@ -443,7 +516,7 @@ impl SolverStore {
                 ..CommitReport::default()
             });
         }
-        if self.pending.is_empty() && !self.hits_dirty {
+        if self.pending.is_empty() && self.pending_verdicts.is_empty() && !self.hits_dirty {
             return Ok(CommitReport {
                 bytes: self.stats.bytes,
                 ..CommitReport::default()
@@ -455,12 +528,16 @@ impl SolverStore {
             self.base.clone()
         };
         let appended = self.pending.len();
+        let appended_verdicts = self.pending_verdicts.len();
         for (fp, result) in &self.pending {
             let rec = EntryRecord {
                 fp: *fp,
                 result: result.clone(),
             };
             encode_record(Tag::Entry, &mvm_json::to_string(&rec), &mut bytes);
+        }
+        for r in &self.pending_verdicts {
+            encode_record(Tag::Verdict, &mvm_json::to_string(r), &mut bytes);
         }
         self.base_entry_records += appended;
         self.stats.entries = self.entries.len() as u64;
@@ -470,16 +547,36 @@ impl SolverStore {
         self.write_atomic(&bytes)?;
         self.base = bytes;
         self.pending.clear();
+        self.pending_verdicts.clear();
         self.hits_dirty = false;
         self.report.outcome = LoadOutcome::Loaded;
         let stats = self.stats;
         self.recorder.event_with("commit", || {
             vec![
                 ("appended".into(), appended.to_string()),
+                ("verdicts".into(), appended_verdicts.to_string()),
                 ("entries".into(), stats.entries.to_string()),
                 ("bytes".into(), stats.bytes.to_string()),
             ]
         });
+        // Append-only supersedure leaves garbage records behind; when
+        // they exceed the configured fraction of on-disk entry records,
+        // reclaim them right away instead of waiting for an operator
+        // `compact`.
+        if let Some(threshold) = self.auto_compact {
+            let total = self.base_entry_records;
+            let garbage = total.saturating_sub(self.entries.len());
+            if total > 0 && (garbage as f64) / (total as f64) > threshold {
+                self.recorder.event_with("compact.auto", || {
+                    vec![
+                        ("superseded".into(), garbage.to_string()),
+                        ("records".into(), total.to_string()),
+                        ("threshold".into(), format!("{threshold}")),
+                    ]
+                });
+                self.compact()?;
+            }
+        }
         Ok(CommitReport {
             appended,
             bytes: self.stats.bytes,
@@ -507,6 +604,9 @@ impl SolverStore {
             };
             encode_record(Tag::Entry, &mvm_json::to_string(&rec), &mut bytes);
         }
+        for r in &self.verdicts {
+            encode_record(Tag::Verdict, &mvm_json::to_string(r), &mut bytes);
+        }
         self.stats.entries = self.entries.len() as u64;
         self.stats.bytes = bytes.len() as u64;
         self.stats.compactions += 1;
@@ -515,6 +615,7 @@ impl SolverStore {
         self.base = bytes;
         self.base_entry_records = self.entries.len();
         self.pending.clear();
+        self.pending_verdicts.clear();
         self.hits_dirty = false;
         self.report.outcome = LoadOutcome::Loaded;
         let bytes_after = self.stats.bytes;
@@ -574,7 +675,10 @@ mod tests {
     }
 
     fn cache(entries: Vec<(CanonFp, PortableResult)>) -> PortableCache {
-        PortableCache { entries }
+        PortableCache {
+            entries,
+            verdicts: Vec::new(),
+        }
     }
 
     fn tmp_path(name: &str) -> PathBuf {
@@ -786,6 +890,98 @@ mod tests {
         s3.note_hits(2);
         s3.commit().unwrap();
         assert_eq!(SolverStore::open(&path, 7).stats().absorbed_hits, 7);
+    }
+
+    fn verdict(scope: u64, worker: u32, path: Vec<u32>) -> VerdictRecord {
+        use mvm_symbolic::{SubtreeStats, VerdictKind};
+        VerdictRecord {
+            scope,
+            worker,
+            path,
+            kind: VerdictKind::Exhausted,
+            stats: SubtreeStats {
+                nodes: 4,
+                hypotheses: 8,
+                ..SubtreeStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn verdict_records_round_trip_and_dedup() {
+        let path = tmp_path("verdicts.resstore");
+        let _ = std::fs::remove_file(&path);
+
+        let mut s = SolverStore::open(&path, 7);
+        s.merge(&cache(vec![entry(1, 10)]));
+        assert_eq!(
+            s.merge_verdicts(&[
+                verdict(0xaa, 0, vec![0]),
+                verdict(0xaa, 1, vec![1, 2]),
+                verdict(0xbb, 2, vec![0]),
+            ]),
+            3
+        );
+        // Same (scope, path) again: a replica, not a new certificate.
+        assert_eq!(s.merge_verdicts(&[verdict(0xaa, 3, vec![0])]), 0);
+        s.commit().unwrap();
+
+        let s2 = SolverStore::open(&path, 7);
+        assert_eq!(s2.load_report().verdicts_loaded, 3);
+        assert_eq!(s2.verdicts().len(), 3);
+        let in_scope: Vec<_> = s2.verdicts_for(0xaa).collect();
+        assert_eq!(in_scope.len(), 2);
+        assert_eq!(in_scope[0].worker, 0, "first certificate won");
+        assert_eq!(s2.verdicts_for(0xcc).count(), 0);
+
+        // Compaction preserves certificates.
+        let mut s2 = s2;
+        s2.compact().unwrap();
+        let s3 = SolverStore::open(&path, 7);
+        assert_eq!(s3.load_report().verdicts_loaded, 3);
+    }
+
+    #[test]
+    fn verdict_free_commits_write_no_v_records() {
+        let path = tmp_path("noverdicts.resstore");
+        let _ = std::fs::remove_file(&path);
+        let mut s = SolverStore::open(&path, 7);
+        s.merge(&cache(vec![entry(1, 10)]));
+        s.commit().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.lines().any(|l| l.starts_with("V ")),
+            "a verdict-free store must stay byte-compatible with v1 readers' fixtures"
+        );
+    }
+
+    #[test]
+    fn commit_auto_compacts_past_the_supersedure_threshold() {
+        let path = tmp_path("autocompact.resstore");
+        let _ = std::fs::remove_file(&path);
+
+        let mut s = SolverStore::open(&path, 7);
+        s.merge(&cache(vec![entry(1, 10)]));
+        s.commit().unwrap();
+        // Two superseding re-appends for fp 1: 3 records, 1 live,
+        // ratio 2/3 > 0.5.
+        s.pending.push(entry(1, 20));
+        s.pending.push(entry(1, 30));
+        s.commit().unwrap();
+
+        let s2 = SolverStore::open(&path, 7);
+        assert_eq!(s2.stats().compactions, 1, "commit compacted itself");
+        assert_eq!(s2.load_report().superseded, 0);
+        assert_eq!(s2.len(), 1);
+
+        // Below the threshold (or disabled) nothing happens.
+        let mut s3 = SolverStore::open(&path, 7);
+        s3.set_auto_compact(None);
+        s3.pending.push(entry(1, 40));
+        s3.pending.push(entry(1, 50));
+        s3.pending.push(entry(1, 60));
+        s3.commit().unwrap();
+        assert_eq!(s3.stats().compactions, 1, "disabled: no new compaction");
     }
 
     #[test]

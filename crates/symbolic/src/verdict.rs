@@ -1,0 +1,283 @@
+//! Subtree-verdict certificates exported by speculative workers.
+//!
+//! PR 3's sharded speculation warms a portable solver cache but throws
+//! the workers' *search outcomes* away: the sequential replay still
+//! re-expands every node, so the parallel win is bounded by solver cost
+//! alone. A [`VerdictRecord`] is the missing export — a checkable
+//! certificate, keyed by the canonical enumeration index of a subtree
+//! root, stating what a full exploration of that subtree yields:
+//!
+//! * [`VerdictKind::Exhausted`] — the subtree contains no surviving
+//!   suffix. Replay may *skip* it wholesale, folding the certificate's
+//!   [`SubtreeStats`] into its own accounting so every total (node,
+//!   hypothesis, rejection, and assignment counts, budget admission,
+//!   the final proven/budget verdict) reconciles exactly with what a
+//!   full replay would have produced.
+//! * [`VerdictKind::HasArtifact`] — the subtree contains at least one
+//!   surviving suffix. Never skipped (replay must materialize the
+//!   artifact bytes itself); persisted for provenance and tooling.
+//!
+//! Soundness rests on the same α-equivariance contract as
+//! [`PortableResult`](crate::PortableResult): a certificate is emitted
+//! only when every solver answer consumed inside the subtree was
+//! renaming-equivariant (see `SessionStats::private_results`), so a
+//! worker's exploration of the subtree is step-for-step isomorphic to
+//! the replay exploration it stands in for. Certificates are scoped by
+//! a fingerprint of the (dump, search-configuration) pair and carry the
+//! worker index that produced them ([`REPLAY_ORIGIN`] marks records
+//! re-certified by the sequential replay itself).
+
+use std::collections::BTreeMap;
+
+use mvm_json::{json_enum, json_struct};
+
+/// Origin tag for verdicts certified by the sequential replay itself
+/// (as opposed to speculative worker `w < workers`).
+pub const REPLAY_ORIGIN: u32 = u32::MAX;
+
+/// Exact exploration accounting for one subtree — the counters a full
+/// sequential exploration of the subtree would have added to
+/// `KernelStats`. Field-for-field these mirror the kernel's counter
+/// fields; `res-core` folds them back on skip so totals reconcile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubtreeStats {
+    /// Nodes the subtree exploration expanded (including its root).
+    pub nodes: u64,
+    /// Candidate hypotheses instantiated.
+    pub hypotheses: u64,
+    /// Hypotheses accepted as feasible children.
+    pub accepted: u64,
+    /// Rejections: structurally inapplicable hypotheses.
+    pub rejected_structural: u64,
+    /// Rejections: symbolic execution infeasibility.
+    pub rejected_exec: u64,
+    /// Rejections: solver-proven Unsat.
+    pub rejected_solver: u64,
+    /// Rejections: LBR breadcrumb mismatch.
+    pub rejected_lbr: u64,
+    /// Rejections: error-log breadcrumb mismatch.
+    pub rejected_log: u64,
+    /// Rejections: per-hypothesis instruction budget.
+    pub rejected_budget: u64,
+    /// Solver-Unknown children accepted over-approximately.
+    pub unknown_accepted: u64,
+    /// ... of which the solver ran out of assignment budget.
+    pub unknown_accepted_budget: u64,
+    /// ... of which the solver theory was incomplete.
+    pub unknown_accepted_incomplete: u64,
+    /// Artifact finalizations that failed.
+    pub finalize_failed: u64,
+    /// Artifacts (suffixes) produced inside the subtree.
+    pub artifacts: u64,
+    /// Deepest node depth reached inside the subtree (absolute).
+    pub deepest: u64,
+    /// Solver enumeration assignments spent inside the subtree.
+    pub assignments: u64,
+    /// Symbolic variables minted inside the subtree. On skip the replay
+    /// advances its symbol allocator by this amount, so every node
+    /// explored *after* the skipped subtree sees byte-identical symbol
+    /// ids to a full sequential run — without this, downstream
+    /// constraint sets would be merely α-equivalent, and probe-seeded
+    /// (non-equivariant) solver answers could drift.
+    pub syms: u64,
+}
+
+json_struct!(SubtreeStats {
+    nodes,
+    hypotheses,
+    accepted,
+    rejected_structural,
+    rejected_exec,
+    rejected_solver,
+    rejected_lbr,
+    rejected_log,
+    rejected_budget,
+    unknown_accepted,
+    unknown_accepted_budget,
+    unknown_accepted_incomplete,
+    finalize_failed,
+    artifacts,
+    deepest,
+    assignments,
+    syms
+});
+
+impl SubtreeStats {
+    /// Folds another subtree's accounting into this one (sums counters,
+    /// maxes `deepest`).
+    pub fn absorb(&mut self, other: &SubtreeStats) {
+        self.nodes += other.nodes;
+        self.hypotheses += other.hypotheses;
+        self.accepted += other.accepted;
+        self.rejected_structural += other.rejected_structural;
+        self.rejected_exec += other.rejected_exec;
+        self.rejected_solver += other.rejected_solver;
+        self.rejected_lbr += other.rejected_lbr;
+        self.rejected_log += other.rejected_log;
+        self.rejected_budget += other.rejected_budget;
+        self.unknown_accepted += other.unknown_accepted;
+        self.unknown_accepted_budget += other.unknown_accepted_budget;
+        self.unknown_accepted_incomplete += other.unknown_accepted_incomplete;
+        self.finalize_failed += other.finalize_failed;
+        self.artifacts += other.artifacts;
+        self.deepest = self.deepest.max(other.deepest);
+        self.assignments += other.assignments;
+        self.syms += other.syms;
+    }
+}
+
+/// What a certified subtree contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Fully explored, no surviving suffix anywhere inside. Replay may
+    /// skip the subtree and fold [`SubtreeStats`] in.
+    Exhausted,
+    /// Fully explored and at least one surviving suffix was produced.
+    /// Informational: replay re-derives the artifact bytes itself.
+    HasArtifact,
+}
+
+json_enum!(VerdictKind {
+    Exhausted,
+    HasArtifact
+});
+
+/// One subtree certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictRecord {
+    /// Fingerprint of the (coredump, search-configuration) pair the
+    /// certificate is valid for. Verdicts from a different scope are
+    /// ignored, never wrong.
+    pub scope: u64,
+    /// Worker index that certified the subtree ([`REPLAY_ORIGIN`] for
+    /// the sequential replay).
+    pub worker: u32,
+    /// Canonical enumeration index of the subtree root: the sequence of
+    /// candidate indices (in deterministic `generate()` order) from the
+    /// search root.
+    pub path: Vec<u32>,
+    /// What the subtree contains.
+    pub kind: VerdictKind,
+    /// Exact accounting of the full exploration.
+    pub stats: SubtreeStats,
+}
+
+json_struct!(VerdictRecord {
+    scope,
+    worker,
+    path,
+    kind,
+    stats
+});
+
+/// A consultable set of verdicts for one scope, keyed by enumeration
+/// path. First insertion wins: certificates for the same (scope, path)
+/// are exact replicas by construction, so dedup order is cosmetic.
+#[derive(Debug, Clone, Default)]
+pub struct VerdictSet {
+    by_path: BTreeMap<Vec<u32>, VerdictRecord>,
+}
+
+impl VerdictSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a record unless its path is already certified. Returns
+    /// `true` when the record was new.
+    pub fn insert(&mut self, record: VerdictRecord) -> bool {
+        match self.by_path.entry(record.path.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(record);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Looks up the certificate for an enumeration path.
+    pub fn get(&self, path: &[u32]) -> Option<&VerdictRecord> {
+        self.by_path.get(path)
+    }
+
+    /// Number of certified subtrees.
+    pub fn len(&self) -> usize {
+        self.by_path.len()
+    }
+
+    /// `true` when no subtree is certified.
+    pub fn is_empty(&self) -> bool {
+        self.by_path.is_empty()
+    }
+
+    /// Iterates the records in path order.
+    pub fn records(&self) -> impl Iterator<Item = &VerdictRecord> {
+        self.by_path.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(path: Vec<u32>, kind: VerdictKind) -> VerdictRecord {
+        VerdictRecord {
+            scope: 0xabcd,
+            worker: 1,
+            path,
+            kind,
+            stats: SubtreeStats {
+                nodes: 3,
+                hypotheses: 6,
+                accepted: 2,
+                deepest: 4,
+                assignments: 10,
+                ..SubtreeStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn verdict_records_round_trip_through_json() {
+        let r = record(vec![0, 2, 1], VerdictKind::Exhausted);
+        let text = mvm_json::to_string(&r);
+        let back: VerdictRecord = mvm_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+        let h = record(vec![], VerdictKind::HasArtifact);
+        let back: VerdictRecord = mvm_json::from_str(&mvm_json::to_string(&h)).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn subtree_stats_absorb_sums_and_maxes() {
+        let mut a = SubtreeStats {
+            nodes: 1,
+            deepest: 2,
+            assignments: 5,
+            ..SubtreeStats::default()
+        };
+        let b = SubtreeStats {
+            nodes: 4,
+            deepest: 1,
+            assignments: 7,
+            artifacts: 1,
+            ..SubtreeStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.nodes, 5);
+        assert_eq!(a.deepest, 2);
+        assert_eq!(a.assignments, 12);
+        assert_eq!(a.artifacts, 1);
+    }
+
+    #[test]
+    fn verdict_set_first_insertion_wins() {
+        let mut set = VerdictSet::new();
+        assert!(set.insert(record(vec![1], VerdictKind::Exhausted)));
+        assert!(!set.insert(record(vec![1], VerdictKind::HasArtifact)));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.get(&[1]).unwrap().kind, VerdictKind::Exhausted);
+        assert!(set.get(&[2]).is_none());
+    }
+}

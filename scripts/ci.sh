@@ -34,15 +34,34 @@ echo "==> cross-run determinism gate (golden suffix fixture, cold then warm stor
 # store synthesizes byte-identical suffixes to a cold run. Run the
 # golden fixture test twice against one store file — the first run
 # populates it, the second answers solver queries from it; both must
-# match the very same cold golden fixture.
+# match the very same cold golden fixture. Exercise both speculative
+# modes against that one fixture: with subtree-verdict certificates
+# consulted (the default) and with them off (RES_SPECULATIVE_YIELD=0,
+# cache-only) — a verdict-pruned warm replay must not change a byte.
 scratch_dir="$(mktemp -d)"
 trap 'rm -rf "$scratch_dir"' EXIT
-for pass in cold warm; do
-    echo "    RES_CACHE_PATH ($pass)"
-    RES_CACHE_PATH="$scratch_dir/ci.resstore" cargo test -q --test suffix_golden \
-        default_dfs_suffixes_match_pre_refactor_fixture
+for yield in 1 0; do
+    for pass in cold warm; do
+        echo "    RES_CACHE_PATH ($pass, RES_SPECULATIVE_YIELD=$yield)"
+        RES_SPECULATIVE_YIELD=$yield \
+            RES_CACHE_PATH="$scratch_dir/ci-y$yield.resstore" \
+            cargo test -q --test suffix_golden \
+            default_dfs_suffixes_match_pre_refactor_fixture
+    done
+    test -s "$scratch_dir/ci-y$yield.resstore" || { echo "store was never populated"; exit 1; }
 done
-test -s "$scratch_dir/ci.resstore" || { echo "store was never populated"; exit 1; }
+grep -q "^V " "$scratch_dir/ci-y1.resstore" \
+    || { echo "verdict-enabled store carries no certificate records"; exit 1; }
+
+echo "==> speculative-yield bench (BENCH_e3_speculative_yield.json)"
+# The E3y extract: warm cache-only replay vs warm verdict-consulting
+# replay at 1, 2, 4 workers. The harness exits non-zero unless the
+# suffixes stay byte-identical, effective totals reconcile, and the
+# certificates cut replayed nodes >= 2x at 4 workers.
+RES_BENCH_OUT="$repo_root" \
+    cargo run --release -q -p res-bench --bin harness -- e3y | tail -n 1
+test -s "$repo_root/BENCH_e3_speculative_yield.json" \
+    || { echo "bench artifact was never written"; exit 1; }
 
 echo "==> traced determinism gate (golden suffix fixture with RES_TRACE on)"
 # The observability contract: the recorder is strictly passive. Run the

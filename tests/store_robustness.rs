@@ -171,6 +171,41 @@ fn wrong_program_fingerprint_is_cold_and_leaves_the_file_untouched() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A torn verdict record must degrade to *full replay*, never to a
+/// wrong skip: the engine re-runs with whatever certificates survived
+/// the tear (possibly none) and still synthesizes byte-identical
+/// suffixes.
+#[test]
+fn torn_verdict_record_degrades_to_full_replay() {
+    let (program, dump, golden, path, dir) = populated_store("tornv");
+    // The populated store must actually carry certificates — the replay
+    // of the populating run certifies its own subtrees.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v_off = text
+        .find("\nV ")
+        .expect("populating run must persist verdict records")
+        + 1;
+    // Tear mid-way through the first verdict record: its framing fails,
+    // it and everything after it (further verdicts, the stats block)
+    // are dropped, and the solver entries before it survive.
+    std::fs::write(&path, &text.as_bytes()[..v_off + 10]).unwrap();
+
+    let (warm, report) = run_with_store(&program, &dump, &path);
+    assert_eq!(warm, golden, "a torn verdict record changed the synthesis");
+    assert_eq!(report.outcome, LoadOutcome::Loaded);
+    assert!(
+        report.loaded_entries > 0,
+        "entries before the torn verdict must survive"
+    );
+    assert!(report.committed, "the torn tail must be healed on commit");
+
+    // The healed store serves certificates again on the next run.
+    let (again, report) = run_with_store(&program, &dump, &path);
+    assert_eq!(again, golden);
+    assert_eq!(report.outcome, LoadOutcome::Loaded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn empty_store_file_is_a_cold_start() {
     let (program, dump) = crash();
@@ -223,6 +258,7 @@ fn store_v1_golden_fixture_round_trips() {
     let mut store = SolverStore::open(&path, PROGRAM_FP);
     store.merge(&PortableCache {
         entries: entries.clone(),
+        verdicts: vec![],
     });
     store.note_hits(4);
     store.commit().expect("commit golden store");

@@ -1,0 +1,164 @@
+//! Property-based soundness of speculative yield: for *any* generated
+//! corpus program and any worker count, a verdict-pruned replay must
+//! (a) synthesize byte-identical suffixes to the plain sequential
+//! search, (b) expand a subset of its nodes (strict whenever a skip
+//! actually fired), and (c) reconcile exactly with it on effective
+//! exploration totals — the actual counters plus the certified
+//! accounting of every skipped subtree.
+//!
+//! Solver `assignments` are excluded from the effective-totals
+//! comparison: an α-duplicate query whose occurrences straddle a skip
+//! boundary is charged once in the full run but can be re-charged by
+//! the pruned run (and vice versa), so assignment totals legitimately
+//! differ. That is exactly why `skip_admissible` refuses to skip when a
+//! solver-assignment budget is set.
+//!
+//! A failing case panics with the master seed and reproduces via
+//! `RES_PROP_SEED=<seed> cargo test --test verdict_soundness`.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+
+use proptest_mini::{check, pair, prop_assert, prop_assert_eq, u64_range, usize_range, Config};
+
+use res_debugger::prelude::*;
+use res_debugger::workloads::gen::{generate, GenClass, GenSpec};
+use res_debugger::workloads::run_to_failure;
+
+const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// "At least this many instructions of reconstructed history":
+/// dead-end suffixes below this are rejected late, which is what gives
+/// the search tree genuinely exhausted — and therefore skippable —
+/// subtrees.
+const MIN_SUFFIX_STEPS: u64 = 32;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("res-verdict-sound-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn rendered(r: &res_debugger::res::SynthesisResult) -> String {
+    format!("{:?} {:?}", r.verdict, r.suffixes)
+}
+
+/// Draws (spec, workers): an arbitrary generated program and a worker
+/// count from the {1, 2, 4, 8} grid.
+fn case_gen() -> proptest_mini::Gen<(GenSpec, usize)> {
+    pair(
+        pair(
+            usize_range(0, GenClass::ALL.len() - 1),
+            u64_range(0, 1 << 40),
+        ),
+        usize_range(0, WORKER_GRID.len() - 1),
+    )
+    .map(|((i, seed), w)| (GenSpec::new(GenClass::ALL[i], seed), WORKER_GRID[w]))
+}
+
+#[test]
+fn verdict_pruned_replay_is_a_sound_strict_subset() {
+    // Aggregate proof-of-work: across the whole run, certificates must
+    // actually have been exported and consulted — a vacuously-passing
+    // sweep (nothing ever skipped) is itself a failure.
+    let total_skipped = Cell::new(0u64);
+    let total_exported = Cell::new(0usize);
+
+    check(
+        "verdict_pruned_replay_is_a_sound_strict_subset",
+        &Config::with_cases(8),
+        &case_gen(),
+        |&(spec, workers)| {
+            let gp = generate(spec);
+            let Some(m) = run_to_failure(&gp.program, gp.truth.schedule_hint) else {
+                // The hint is validated by gen_properties; treat a miss
+                // here as a generator bug, not a search bug.
+                return Err(format!("schedule hint did not manifest for {spec:?}"));
+            };
+            let dump = Coredump::capture(&m);
+
+            // The authoritative result: plain sequential search, no
+            // store, certificate pruning off. `min_suffix_steps` is what
+            // makes exhausted subtrees *possible* — without it every
+            // dead end finalizes into an artifact and there is nothing
+            // to skip (see DESIGN.md, "Speculative yield").
+            let base_engine = ResEngine::new(
+                &gp.program,
+                ResConfig::builder()
+                    .min_suffix_steps(MIN_SUFFIX_STEPS)
+                    .speculative_yield(false)
+                    .build(),
+            );
+            let base = base_engine.synthesize(&dump);
+            let golden = rendered(&base);
+
+            let dir = scratch(&format!("{:?}-{}-{workers}", spec.class, spec.seed));
+            let store_path = dir.join("verdicts.resstore");
+            let config = ResConfig::builder()
+                .min_suffix_steps(MIN_SUFFIX_STEPS)
+                .workers(workers)
+                .cache_path(&store_path)
+                .build();
+
+            // Cold pass: populates the store (entries + certificates).
+            let engine = ResEngine::new(&gp.program, config.clone());
+            let cold = engine.synthesize(&dump);
+            prop_assert!(
+                rendered(&cold) == golden,
+                "cold certified run diverged ({spec:?}, workers {workers})"
+            );
+            let cold_store = cold.store.expect("store configured");
+            total_exported.set(total_exported.get() + cold_store.appended_verdicts);
+
+            // Warm pass: consults persisted certificates and prunes.
+            let engine = ResEngine::new(&gp.program, config);
+            let warm = engine.synthesize(&dump);
+            prop_assert!(
+                rendered(&warm) == golden,
+                "verdict-pruned run diverged ({spec:?}, workers {workers})"
+            );
+
+            // Subset: never more expansions than the full search, and
+            // strictly fewer whenever a skip fired.
+            prop_assert!(
+                warm.stats.nodes_expanded <= base.stats.nodes_expanded,
+                "pruned replay expanded more nodes ({} > {}) for {spec:?}",
+                warm.stats.nodes_expanded,
+                base.stats.nodes_expanded
+            );
+            if warm.stats.skipped_subtrees > 0 {
+                prop_assert!(
+                    warm.stats.nodes_expanded < base.stats.nodes_expanded,
+                    "skips fired but no node was saved for {spec:?}"
+                );
+            }
+            total_skipped.set(total_skipped.get() + warm.stats.skipped_subtrees);
+
+            // Exact reconciliation on effective totals (assignments
+            // excluded, see module docs).
+            let mut eff_warm = warm.stats.effective();
+            let mut eff_base = base.stats.effective();
+            eff_warm.assignments = 0;
+            eff_base.assignments = 0;
+            prop_assert!(
+                eff_warm == eff_base,
+                "effective totals do not reconcile for {spec:?}, workers \
+                 {workers}:\n  pruned: {eff_warm:?}\n  full:   {eff_base:?}"
+            );
+            prop_assert_eq!(warm.stats.deepest, base.stats.deepest);
+
+            let _ = std::fs::remove_dir_all(&dir);
+            Ok(())
+        },
+    );
+
+    assert!(
+        total_exported.get() > 0,
+        "no run exported a single certificate — the sweep proved nothing"
+    );
+    assert!(
+        total_skipped.get() > 0,
+        "no warm run skipped a single subtree — the sweep proved nothing"
+    );
+}

@@ -780,7 +780,7 @@ pub fn e7_hardware() -> Experiment {
         per_kind: 4,
         ..CorpusSpec::default()
     });
-    let study = filter_corpus(&corpus, &ResConfig::default());
+    let study = filter_corpus(&corpus, &ResConfig::default(), None);
     let table = format!(
         "reports | hw-injected | flagged | precision | recall\n\
          --------+-------------+---------+-----------+-------\n\
@@ -1471,6 +1471,267 @@ pub fn e7c_hardware_corpus() -> Experiment {
         claim: "the hardware filter keeps zero false positives at population scale",
         table,
         shape_holds: shape,
+    }
+}
+
+/// One pass of the SRV daemon-throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePassRow {
+    /// `cold` (empty hot set and empty store files) or `warm`.
+    pub pass: String,
+    /// Reports triaged.
+    pub reports: u64,
+    /// Batch wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Reports per second.
+    pub rps: f64,
+    /// Hot-store hits accumulated by the end of the pass.
+    pub hot_hits: u64,
+    /// Hot-store misses accumulated by the end of the pass.
+    pub hot_misses: u64,
+    /// Hot-store evictions accumulated by the end of the pass.
+    pub hot_evictions: u64,
+    /// Every response was byte-identical to the sequential direct
+    /// library run on the same report.
+    pub identical: bool,
+}
+
+mvm_json::json_struct!(ServePassRow {
+    pass,
+    reports,
+    wall_ms,
+    rps,
+    hot_hits,
+    hot_misses,
+    hot_evictions,
+    identical
+});
+
+/// The `BENCH_serve_throughput.json` artifact payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeThroughputArtifact {
+    /// Artifact id (`serve_throughput`).
+    pub experiment: String,
+    /// Corpus description.
+    pub workload: String,
+    /// Daemon worker threads.
+    pub daemon_workers: u64,
+    /// Concurrent client connections per pass.
+    pub clients: u64,
+    /// Hot-store capacity (programs kept warm).
+    pub hot_cap: u64,
+    /// Cold then warm pass.
+    pub passes: Vec<ServePassRow>,
+    /// `store.compact.auto` events observed in the daemon journal.
+    pub compactions: u64,
+    /// The acceptance shape (see [`srv_serve_throughput`]).
+    pub shape_holds: bool,
+}
+
+mvm_json::json_struct!(ServeThroughputArtifact {
+    experiment,
+    workload,
+    daemon_workers,
+    clients,
+    hot_cap,
+    passes,
+    compactions,
+    shape_holds
+});
+
+/// The byte-identity currency for a daemon answer: verdict, deadlock
+/// flag, bucket key, and the full rendering of every suffix. Kernel
+/// stats are excluded — the solver's cache-provenance counters
+/// legitimately differ between cold and warm stores.
+fn srv_identity(resp: &res_triage::TriageResponse) -> String {
+    format!(
+        "{:?}|{}|{}|{:?}",
+        resp.verdict, resp.deadlock, resp.bucket_key, resp.suffixes
+    )
+}
+
+/// SRV — batch throughput through the `res-serve` daemon: a ≥50-dump
+/// corpus over a handful of programs is submitted concurrently twice
+/// (cold, then warm hot-store) and compared byte-for-byte against
+/// sequential direct library runs.
+///
+/// The daemon runs with a hot-store capacity *below* the number of
+/// distinct programs and an aggressive age-based compaction policy, so
+/// the pass exercises the whole store lifecycle: open → absorb → evict
+/// → commit → auto-compact → re-open. The shape holds when every
+/// response (both passes) is byte-identical to its sequential golden,
+/// the warm pass serves a nonzero hot hit rate, and at least one
+/// automatic compaction fired.
+pub fn srv_serve_throughput() -> Experiment {
+    use res_serve::{serve, ServeConfig, TriageClient};
+    use res_store::CompactionPolicy;
+    use res_triage::TriageRequest;
+
+    let spec = CorpusSpec {
+        kinds: vec![
+            BugKind::DivByZero,
+            BugKind::UseAfterFree,
+            BugKind::DoubleFree,
+            BugKind::SemanticAssert,
+        ],
+        per_kind: 13,
+        ..CorpusSpec::default()
+    };
+    let corpus = generate_corpus(&spec);
+    assert!(corpus.len() >= 50, "corpus too small: {}", corpus.len());
+    let programs = spec.kinds.len();
+
+    // Sequential ground truth: the plain library, no daemon, no store.
+    let base = ResConfig::default();
+    let golden: Vec<String> = corpus
+        .iter()
+        .map(|r| {
+            let req = TriageRequest::new(r.program.clone(), r.dump.clone());
+            srv_identity(&res_triage::triage(&req, &base))
+        })
+        .collect();
+
+    let scratch = std::env::temp_dir().join(format!("res-srv-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create bench scratch dir");
+    let bench_out = std::env::var_os("RES_BENCH_OUT").map(std::path::PathBuf::from);
+    // The journal survives in RES_BENCH_OUT (CI greps it for the
+    // serve.* gauges and the store.compact.auto marks).
+    let journal = bench_out
+        .as_deref()
+        .unwrap_or(&scratch)
+        .join("BENCH_serve_journal.jsonl");
+
+    const DAEMON_WORKERS: usize = 4;
+    const CLIENTS: usize = 4;
+    const HOT_CAP: usize = 2; // below `programs`: force eviction churn
+    let mut handle = serve(ServeConfig {
+        workers: DAEMON_WORKERS,
+        hot_cap: HOT_CAP,
+        store_dir: Some(scratch.join("hot")),
+        // Compact whenever a commit leaves any stale stats record —
+        // i.e. on every second commit of a store file — so the short
+        // two-pass run still exercises the auto-compaction path.
+        policy: CompactionPolicy {
+            max_stale_stats: Some(0),
+            ..CompactionPolicy::default()
+        },
+        trace: Some(journal.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("boot daemon");
+    let addr = handle.addr().to_string();
+
+    // One timed concurrent batch: the corpus sharded across CLIENTS
+    // connections, each submitting its shard in order.
+    let run_pass = |pass: &str| -> ServePassRow {
+        let t0 = Instant::now();
+        let answers: Vec<Vec<(usize, String)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let addr = &addr;
+                    let corpus = &corpus;
+                    s.spawn(move || {
+                        let mut client = TriageClient::connect(addr).expect("connect");
+                        corpus
+                            .iter()
+                            .enumerate()
+                            .skip(c)
+                            .step_by(CLIENTS)
+                            .map(|(i, r)| {
+                                let req = TriageRequest::new(r.program.clone(), r.dump.clone());
+                                let resp = client.triage(req).expect("io").expect("admitted");
+                                (i, srv_identity(&resp))
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .collect()
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let identical = answers.iter().flatten().all(|(i, got)| got == &golden[*i]);
+        let stats = handle.stats();
+        ServePassRow {
+            pass: pass.to_string(),
+            reports: corpus.len() as u64,
+            wall_ms,
+            rps: corpus.len() as f64 / (wall_ms / 1000.0).max(1e-9),
+            hot_hits: stats.hot_hits,
+            hot_misses: stats.hot_misses,
+            hot_evictions: stats.hot_evictions,
+            identical,
+        }
+    };
+    let cold = run_pass("cold");
+    let warm = run_pass("warm");
+    handle.stop(); // flushes the hot stores and the journal
+
+    let compactions = res_obs::read_journal(&journal)
+        .map(|events| {
+            events
+                .iter()
+                .filter(|e| e.kind.name() == Some("store.compact.auto"))
+                .count() as u64
+        })
+        .unwrap_or(0);
+    let warm_hits = warm.hot_hits - cold.hot_hits;
+    let shape_holds = cold.identical && warm.identical && warm_hits > 0 && compactions > 0;
+
+    let mut table = String::from(
+        "pass | reports | wall     | reports/s | hot hits/misses/evictions | identical\n\
+         -----+---------+----------+-----------+---------------------------+----------\n",
+    );
+    for row in [&cold, &warm] {
+        let _ = writeln!(
+            table,
+            "{:<4} | {:>7} | {:>6.1}ms | {:>9.1} | {:>25} | {}",
+            row.pass,
+            row.reports,
+            row.wall_ms,
+            row.rps,
+            format!("{}/{}/{}", row.hot_hits, row.hot_misses, row.hot_evictions),
+            if row.identical { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        table,
+        "auto-compactions: {compactions}, warm-pass hot hits: {warm_hits}"
+    );
+
+    if let Some(dir) = &bench_out {
+        let artifact = ServeThroughputArtifact {
+            experiment: "serve_throughput".to_string(),
+            workload: format!(
+                "{} reports over {programs} programs ({} per kind), default budgets",
+                corpus.len(),
+                spec.per_kind
+            ),
+            daemon_workers: DAEMON_WORKERS as u64,
+            clients: CLIENTS as u64,
+            hot_cap: HOT_CAP as u64,
+            passes: vec![cold, warm],
+            compactions,
+            shape_holds,
+        };
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join("BENCH_serve_throughput.json");
+        if let Err(err) = std::fs::write(&path, mvm_json::to_string_pretty(&artifact)) {
+            eprintln!("cannot write {}: {err}", path.display());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    Experiment {
+        id: "SRV",
+        claim: "the triage daemon serves concurrent batches byte-identical to \
+                sequential library runs, with a warm hot store and automatic \
+                store compaction",
+        table,
+        shape_holds,
     }
 }
 

@@ -14,9 +14,11 @@
 
 use mvm_core::Coredump;
 use mvm_isa::{layout, Program, Reg, Width};
+use mvm_json::json_enum;
 use mvm_machine::AllocState;
+use res_store::SolverStore;
 
-use crate::search::{ResConfig, ResEngine, Verdict};
+use crate::search::{ResConfig, ResEngine, SynthOptions, SynthesisResult, Verdict};
 
 /// Where the engine localized a hardware fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +39,12 @@ pub enum HwKind {
     Unlocalized,
 }
 
+json_enum!(HwKind {
+    MemoryError { addr: u64 },
+    CpuError { reg: Reg },
+    Unlocalized
+});
+
 /// The §3.2 verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HwVerdict {
@@ -53,6 +61,12 @@ pub enum HwVerdict {
     /// The engine ran out of budget before deciding.
     Inconclusive,
 }
+
+json_enum!(HwVerdict {
+    SoftwareBug,
+    HardwareSuspected { kind: HwKind, proven: bool },
+    Inconclusive
+});
 
 /// Candidate relaxation sites for localization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,6 +87,12 @@ pub enum Relax {
     },
 }
 
+json_enum!(Relax {
+    None,
+    Mem { addr: u64 },
+    Reg { reg: Reg }
+});
+
 /// Runs the full §3.2 analysis: verdict plus localization.
 ///
 /// Solver `Unknown`s stay conservative regardless of their
@@ -82,8 +102,45 @@ pub enum Relax {
 /// `proven: false` and a budget-cut search is [`HwVerdict::Inconclusive`]
 /// — a hardware accusation is never built on an undecided query.
 pub fn hardware_verdict(program: &Program, dump: &Coredump, config: &ResConfig) -> HwVerdict {
+    hardware_verdict_inner(program, dump, config, None)
+}
+
+/// [`hardware_verdict`] with every solver query routed through a
+/// pre-opened [`SolverStore`]: the store is absorbed once up front and
+/// new results are merged back, but **committing is left to the caller**
+/// (the triage daemon commits on hot-store eviction or shutdown). This
+/// is the §3.2 sweep's warm path — the base synthesis and every
+/// relaxation candidate share one store instead of paying
+/// open/absorb/commit per call.
+pub fn hardware_verdict_in_store(
+    program: &Program,
+    dump: &Coredump,
+    config: &ResConfig,
+    store: &mut SolverStore,
+) -> HwVerdict {
+    hardware_verdict_inner(program, dump, config, Some(store))
+}
+
+fn run_relaxed(
+    engine: &ResEngine,
+    dump: &Coredump,
+    relax: Relax,
+    store: &mut Option<&mut SolverStore>,
+) -> SynthesisResult {
+    match store {
+        Some(s) => engine.synthesize_in_store(dump, SynthOptions::new().relax(relax), s),
+        None => engine.synthesize_relaxed(dump, relax),
+    }
+}
+
+fn hardware_verdict_inner(
+    program: &Program,
+    dump: &Coredump,
+    config: &ResConfig,
+    mut store: Option<&mut SolverStore>,
+) -> HwVerdict {
     let engine = ResEngine::new(program, config.clone());
-    let base = engine.synthesize_relaxed(dump, Relax::None);
+    let base = run_relaxed(&engine, dump, Relax::None, &mut store);
     match base.verdict {
         Verdict::SuffixFound => return HwVerdict::SoftwareBug,
         Verdict::BudgetExhausted => return HwVerdict::Inconclusive,
@@ -97,7 +154,7 @@ pub fn hardware_verdict(program: &Program, dump: &Coredump, config: &ResConfig) 
     // suffix the relaxation enables — the true corruption site lets the
     // search reverse much further (ideally to the program entry).
     let mut best: Option<(usize, HwKind)> = None;
-    let mut consider = |kind: HwKind, res: &crate::search::SynthesisResult| {
+    let mut consider = |kind: HwKind, res: &SynthesisResult| {
         if res.verdict != Verdict::SuffixFound {
             return;
         }
@@ -107,11 +164,11 @@ pub fn hardware_verdict(program: &Program, dump: &Coredump, config: &ResConfig) 
         }
     };
     for r in 0..Reg::COUNT as u8 {
-        let res = engine.synthesize_relaxed(dump, Relax::Reg { reg: Reg(r) });
+        let res = run_relaxed(&engine, dump, Relax::Reg { reg: Reg(r) }, &mut store);
         consider(HwKind::CpuError { reg: Reg(r) }, &res);
     }
     for addr in candidate_words(dump) {
-        let res = engine.synthesize_relaxed(dump, Relax::Mem { addr });
+        let res = run_relaxed(&engine, dump, Relax::Mem { addr }, &mut store);
         consider(HwKind::MemoryError { addr }, &res);
     }
     HwVerdict::HardwareSuspected {

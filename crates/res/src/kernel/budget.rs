@@ -9,6 +9,8 @@
 
 use std::time::{Duration, Instant};
 
+use mvm_json::json_enum;
+
 /// Everything the exploration kernel is allowed to spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Budget {
@@ -49,6 +51,13 @@ pub enum CutReason {
     /// The wall-clock deadline passed.
     Deadline,
 }
+
+json_enum!(CutReason {
+    Nodes,
+    HypInstructions,
+    SolverAssignments,
+    Deadline
+});
 
 /// Tracks elapsed wall-clock time for deadline enforcement.
 #[derive(Debug, Clone)]

@@ -9,6 +9,7 @@
 //! [`KernelStats::absorb`] rolls per-worker stats into one report and
 //! [`ParallelReport`] carries the cross-worker accounting.
 
+use mvm_json::json_struct;
 use mvm_symbolic::{SessionStats, SubtreeStats};
 
 use super::budget::CutReason;
@@ -24,6 +25,12 @@ pub struct AbandonedSpace {
     /// Deepest abandoned depth.
     pub max_depth: usize,
 }
+
+json_struct!(AbandonedSpace {
+    nodes,
+    min_depth,
+    max_depth
+});
 
 impl AbandonedSpace {
     /// Accounts one abandoned entry at `depth`.
@@ -98,6 +105,28 @@ pub struct KernelStats {
     /// and reconcile field-for-field with a full sequential run.
     pub skipped: SubtreeStats,
 }
+
+json_struct!(KernelStats {
+    nodes_expanded,
+    hypotheses,
+    accepted,
+    rejected_structural,
+    rejected_exec,
+    rejected_solver,
+    rejected_lbr,
+    rejected_log,
+    rejected_budget,
+    unknown_accepted,
+    unknown_accepted_budget,
+    unknown_accepted_incomplete,
+    finalize_failed,
+    deepest,
+    cut,
+    abandoned,
+    solver,
+    skipped_subtrees,
+    skipped
+});
 
 impl KernelStats {
     /// Folds another worker's stats into this one: counters sum, depth
@@ -191,6 +220,17 @@ pub struct ParallelReport {
     /// Node expansions those skips avoided.
     pub replay_skipped_nodes: u64,
 }
+
+json_struct!(ParallelReport {
+    workers,
+    speculative,
+    per_worker_nodes,
+    cache_entries,
+    per_worker_verdicts,
+    verdicts_consulted,
+    replay_skipped_subtrees,
+    replay_skipped_nodes
+});
 
 #[cfg(test)]
 mod tests {

@@ -44,7 +44,7 @@ pub mod snapshot;
 pub mod suffix;
 pub mod symctx;
 
-pub use hwerr::{hardware_verdict, HwVerdict};
+pub use hwerr::{hardware_verdict, hardware_verdict_in_store, HwKind, HwVerdict, Relax};
 pub use kernel::{
     auto_workers, parallel_map, AbandonedSpace, Budget, CutReason, EnumPath, FrontierKind,
     KernelStats, NodeScore, ParallelReport, ShardedFrontier, SpeculativeYield, VerdictCollector,

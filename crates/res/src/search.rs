@@ -28,6 +28,7 @@ use mvm_isa::{
     Reg,
     Terminator, //
 };
+use mvm_json::{json_enum, json_struct};
 use mvm_machine::ThreadId;
 use mvm_symbolic::{
     ExprRef, Model, SolveResult, SolverConfig, SolverSession, SubtreeStats, UnknownReason,
@@ -346,6 +347,17 @@ pub struct SynthOptions {
     pub relax: Relax,
     /// Override the engine's configured worker count for this call.
     pub workers: Option<usize>,
+    /// Override every [`Budget`] dimension for this call — the
+    /// per-request admission-control hook the triage daemon uses. The
+    /// engine-wide budget assembled from [`ResConfig`] applies when
+    /// unset. A budget override participates in the certificate scope
+    /// exactly like the engine-wide knobs: only `hyp_max_steps` is
+    /// scope-relevant.
+    pub budget: Option<Budget>,
+    /// Override just the wall-clock deadline for this call; applied on
+    /// top of `budget` (or the engine-wide budget) last, so a caller
+    /// can cap latency without restating resource limits.
+    pub deadline: Option<std::time::Duration>,
     /// Use a persistent store at this path for this call only,
     /// overriding any engine-level [`ResConfig::cache_path`]: absorbed
     /// before the search, new entries committed after.
@@ -357,7 +369,7 @@ pub struct SynthOptions {
 
 impl SynthOptions {
     /// The defaults: no relaxation, the engine's configured workers,
-    /// the engine's configured store.
+    /// budget, and store.
     pub fn new() -> Self {
         Self::default()
     }
@@ -374,6 +386,18 @@ impl SynthOptions {
         self
     }
 
+    /// Overrides every budget dimension for this call.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Overrides just the wall-clock deadline for this call.
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Overrides the persistent store for this call.
     pub fn cache_path(mut self, p: impl Into<PathBuf>) -> Self {
         self.cache_path = Some(p.into());
@@ -384,6 +408,17 @@ impl SynthOptions {
     pub fn trace(mut self, p: impl Into<PathBuf>) -> Self {
         self.trace = Some(p.into());
         self
+    }
+
+    /// The effective [`Budget`] this call runs under, given the
+    /// engine-wide `config`: the per-call override (or the engine
+    /// budget), with the per-call deadline applied last.
+    pub fn effective_budget(&self, config: &ResConfig) -> Budget {
+        let mut b = self.budget.unwrap_or_else(|| config.budget());
+        if let Some(d) = self.deadline {
+            b.deadline = Some(d);
+        }
+        b
     }
 }
 
@@ -402,6 +437,12 @@ pub enum Verdict {
     /// The node budget ran out before any suffix completed.
     BudgetExhausted,
 }
+
+json_enum!(Verdict {
+    SuffixFound,
+    NoFeasibleSuffix { proven: bool },
+    BudgetExhausted
+});
 
 /// Everything `synthesize` returns.
 #[derive(Debug, Clone)]
@@ -439,6 +480,15 @@ pub struct StoreReport {
     /// result itself is unaffected either way.
     pub committed: bool,
 }
+
+json_struct!(StoreReport {
+    outcome,
+    loaded_entries,
+    appended_entries,
+    appended_verdicts,
+    store_hits,
+    committed
+});
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ThreadPos {
@@ -578,7 +628,38 @@ impl<'p> ResEngine<'p> {
     /// worker count; the fan-out only changes where solver time is
     /// spent.
     pub fn synthesize_with(&self, dump: &Coredump, opts: SynthOptions) -> SynthesisResult {
+        self.run_synthesis(dump, &opts, None, true)
+    }
+
+    /// [`synthesize_with`](ResEngine::synthesize_with) against a
+    /// caller-owned, already-open [`SolverStore`]: the store is absorbed
+    /// into this engine's session up front and new results/certificates
+    /// are merged back afterwards, but **nothing is committed** — the
+    /// caller decides when the accumulated state reaches disk. This is
+    /// the triage daemon's hot path: one store instance stays warm
+    /// across many requests and is committed only on hot-set eviction or
+    /// shutdown, so per-request cost drops from open/absorb/commit to
+    /// absorb-only. The returned [`StoreReport::committed`] is always
+    /// `false` here.
+    pub fn synthesize_in_store(
+        &self,
+        dump: &Coredump,
+        opts: SynthOptions,
+        store: &mut SolverStore,
+    ) -> SynthesisResult {
+        store.absorb_into(&self.session);
+        self.run_synthesis(dump, &opts, Some(store), false)
+    }
+
+    fn run_synthesis(
+        &self,
+        dump: &Coredump,
+        opts: &SynthOptions,
+        mut external: Option<&mut SolverStore>,
+        commit: bool,
+    ) -> SynthesisResult {
         let workers = opts.workers.unwrap_or(self.config.workers).max(1);
+        let budget = opts.effective_budget(&self.config);
         // A per-call trace overrides the engine-level recorder for this
         // call only — including the session's counters, which are
         // swapped and restored around the call.
@@ -593,34 +674,50 @@ impl<'p> ResEngine<'p> {
         let run = recorder.span("synthesize");
         recorder.gauge("workers", workers as u64);
         // A per-call store overrides the engine-level one for this call.
-        let mut call_store = opts.cache_path.as_ref().map(|p| {
-            let _absorb = run.child("absorb");
-            let store = SolverStore::open_with(
-                p,
-                program_fingerprint(self.program),
-                recorder.scoped("store"),
-            );
-            store.absorb_into(&self.session);
-            store
-        });
+        // An external (caller-owned) store takes precedence over both
+        // and was already absorbed by `synthesize_in_store`.
+        let mut call_store = match external {
+            Some(_) => None,
+            None => opts.cache_path.as_ref().map(|p| {
+                let _absorb = run.child("absorb");
+                let store = SolverStore::open_with(
+                    p,
+                    program_fingerprint(self.program),
+                    recorder.scoped("store"),
+                );
+                store.absorb_into(&self.session);
+                store
+            }),
+        };
         let session_before = self.session.stats();
         // Speculative yield engages only under the default DFS frontier
         // (certificates name contiguous subtrees; see `kernel::verdict`).
         let scope = (self.config.speculative_yield && self.config.frontier == FrontierKind::Dfs)
-            .then(|| self.verdict_scope(dump, opts.relax));
+            .then(|| self.verdict_scope(dump, opts.relax, budget.hyp_max_steps));
         let t_absorb = wall.elapsed();
         let mut verdicts = VerdictSet::new();
         let parallel = (workers > 1).then(|| {
             let span = run.child("speculate");
-            let (report, worker_verdicts) =
-                self.speculate(dump, opts.relax, workers, scope, &recorder, span.id());
+            let (report, worker_verdicts) = self.speculate(
+                dump,
+                opts.relax,
+                workers,
+                budget,
+                scope,
+                &recorder,
+                span.id(),
+            );
             verdicts = worker_verdicts;
             report
         });
         // Certificates persisted by earlier runs of the same scope.
         if let Some(scope) = scope {
             let engine_store = self.store.borrow();
-            if let Some(store) = call_store.as_ref().or(engine_store.as_ref()) {
+            if let Some(store) = external
+                .as_deref()
+                .or(call_store.as_ref())
+                .or(engine_store.as_ref())
+            {
                 for r in store.verdicts_for(scope) {
                     verdicts.insert(r.clone());
                 }
@@ -628,10 +725,12 @@ impl<'p> ResEngine<'p> {
         }
         let verdicts_consulted = verdicts.len();
         let t_speculate = wall.elapsed() - t_absorb;
-        let has_store = call_store.is_some() || self.store.borrow().is_some();
+        let has_store = external.is_some() || call_store.is_some() || self.store.borrow().is_some();
         let (mut result, replay_records) = {
             let _replay = run.child("replay");
-            self.replay(dump, opts.relax, &recorder, scope, &verdicts, has_store)
+            self.replay(
+                dump, opts.relax, budget, &recorder, scope, &verdicts, has_store,
+            )
         };
         let t_replay = wall.elapsed() - t_speculate - t_absorb;
         let (skipped_subtrees, skipped_nodes) =
@@ -649,7 +748,12 @@ impl<'p> ResEngine<'p> {
             // runs' leftovers — the store dedups by (scope, path).
             let mut to_persist = replay_records;
             to_persist.extend(verdicts.records().cloned());
-            self.export_to_store(call_store.as_mut(), session_before.store_hits, &to_persist)
+            self.export_to_store(
+                external.take().or(call_store.as_mut()),
+                session_before.store_hits,
+                &to_persist,
+                commit,
+            )
         };
         let t_commit = wall.elapsed() - t_replay - t_speculate - t_absorb;
         drop(run);
@@ -689,15 +793,17 @@ impl<'p> ResEngine<'p> {
     /// aborts its open frames whenever a budget (or the artifact cap)
     /// stops the search, so certified content is budget-independent.
     /// The program itself needs no component — the store is already
-    /// keyed by program fingerprint.
-    fn verdict_scope(&self, dump: &Coredump, relax: Relax) -> u64 {
+    /// keyed by program fingerprint. `hyp_max_steps` is the one budget
+    /// dimension in scope (it shapes which hypotheses survive), so the
+    /// *effective* per-call value is what gets fingerprinted.
+    fn verdict_scope(&self, dump: &Coredump, relax: Relax, hyp_max_steps: u64) -> u64 {
         let c = &self.config;
         let image = format!(
             "{}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{}|{}|{}|{}",
             mvm_json::to_string(dump),
             relax,
             c.max_depth,
-            c.hyp_max_steps,
+            hyp_max_steps,
             c.solver,
             c.use_lbr,
             c.lbr_filtered,
@@ -713,12 +819,14 @@ impl<'p> ResEngine<'p> {
 
     /// After a search: feed hit counts back to the active store, merge
     /// the session's new renaming-equivariant results and this run's
-    /// verdict certificates, and commit.
+    /// verdict certificates, and — unless `commit` is deferred to the
+    /// caller (the `synthesize_in_store` hot path) — commit.
     fn export_to_store(
         &self,
         call_store: Option<&mut SolverStore>,
         store_hits_before: u64,
         verdicts: &[VerdictRecord],
+        commit: bool,
     ) -> Option<StoreReport> {
         let mut engine_store = self.store.borrow_mut();
         let store = call_store.or(engine_store.as_mut())?;
@@ -728,7 +836,7 @@ impl<'p> ResEngine<'p> {
         store.note_hits(store_hits);
         let appended_entries = store.merge(&self.session.export_portable());
         let appended_verdicts = store.merge_verdicts(verdicts);
-        let committed = !store.read_only() && store.commit().is_ok();
+        let committed = commit && !store.read_only() && store.commit().is_ok();
         Some(StoreReport {
             outcome,
             loaded_entries,
@@ -748,6 +856,7 @@ impl<'p> ResEngine<'p> {
         dump: &Coredump,
         relax: Relax,
         workers: usize,
+        budget: Budget,
         scope: Option<u64>,
         recorder: &Recorder,
         speculate_span: Option<u64>,
@@ -763,7 +872,14 @@ impl<'p> ResEngine<'p> {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
-                        let config = self.config.clone();
+                        // Per-call budget overrides propagate into the
+                        // workers via their config clones; `run_shard`
+                        // slices whatever it finds there.
+                        let mut config = self.config.clone();
+                        config.max_nodes = budget.max_nodes;
+                        config.hyp_max_steps = budget.hyp_max_steps;
+                        config.max_solver_assignments = budget.max_solver_assignments;
+                        config.deadline = budget.deadline;
                         let worker_rec = recorder.scoped(&format!("speculate.w{w}"));
                         scope.spawn(move || {
                             let _span = worker_rec.span_under("shard", speculate_span);
@@ -864,10 +980,12 @@ impl<'p> ResEngine<'p> {
     /// sequential search. Consults `verdicts` to skip certified-
     /// exhausted subtrees, and — when a store will receive them
     /// (`collect`) — re-certifies subtrees it fully explores itself.
+    #[allow(clippy::too_many_arguments)]
     fn replay(
         &self,
         dump: &Coredump,
         relax: Relax,
+        budget: Budget,
         recorder: &Recorder,
         scope: Option<u64>,
         verdicts: &VerdictSet,
@@ -880,7 +998,7 @@ impl<'p> ResEngine<'p> {
         let suffixes = self.explore_with(
             dump,
             relax,
-            self.config.budget(),
+            budget,
             frontier.as_mut(),
             &mut stats,
             recorder,
@@ -945,6 +1063,7 @@ impl<'p> ResEngine<'p> {
             dump,
             ctx,
             assignments_before: session_before.assignments,
+            hyp_max_steps: budget.hyp_max_steps,
         };
         let explore_config = ExploreConfig {
             budget,
@@ -1214,6 +1333,7 @@ impl<'p> ResEngine<'p> {
         cand: &Candidate,
         dump: &Coredump,
         ctx: &mut SymCtx,
+        hyp_max_steps: u64,
         stats: &mut KernelStats,
     ) -> Option<Node> {
         let base: Vec<ExprRef> = node.constraints.iter().map(|t| t.expr.clone()).collect();
@@ -1236,7 +1356,7 @@ impl<'p> ResEngine<'p> {
             dump_allocs: &dump.heap_allocs,
             later_allocs: node.suffix_allocs,
             base_constraints: &base,
-            max_steps: self.config.hyp_max_steps,
+            max_steps: hyp_max_steps,
             skip_compat: self.config.skip_compat_check,
         };
         let outcome = match run_hypothesis(&spec, &node.snap, ctx, &self.session, node.depth) {
@@ -1489,6 +1609,9 @@ struct SearchDriver<'e, 'p, 'd> {
     dump: &'d Coredump,
     ctx: SymCtx,
     assignments_before: u64,
+    /// The effective per-hypothesis instruction budget for this run
+    /// (per-call overrides land here, not in the engine config).
+    hyp_max_steps: u64,
 }
 
 impl HypothesisGen for SearchDriver<'_, '_, '_> {
@@ -1507,9 +1630,14 @@ impl StateTransform for SearchDriver<'_, '_, '_> {
         cand: &Candidate,
         stats: &mut KernelStats,
     ) -> Option<(NodeScore, Node)> {
-        let child = self
-            .engine
-            .try_candidate(node, cand, self.dump, &mut self.ctx, stats)?;
+        let child = self.engine.try_candidate(
+            node,
+            cand,
+            self.dump,
+            &mut self.ctx,
+            self.hyp_max_steps,
+            stats,
+        )?;
         let crumbs_matched =
             (self.dump.lbr.len() - child.lbr_rem) + (self.dump.error_log.len() - child.log_rem);
         let score = NodeScore {

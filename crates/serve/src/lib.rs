@@ -1,0 +1,41 @@
+//! # res-serve — the long-running triage daemon
+//!
+//! The paper's §3 deployment story is a *service*: "RES can process
+//! incoming bug reports and triage them" — a stream, not a one-shot
+//! CLI run. This crate is that service, built entirely from the
+//! workspace's existing layers:
+//!
+//! * **One typed API.** A daemon request is a
+//!   [`res_triage::TriageRequest`] — the same mvm-json-serializable
+//!   value a direct library caller builds — wrapped in a
+//!   [`WireRequest`]; answers come back as
+//!   [`res_triage::TriageResponse`]s. Byte-identity between served and
+//!   direct results is therefore checkable value-for-value (and is, by
+//!   the lifecycle tests and `scripts/ci.sh`).
+//! * **Store-framed wire protocol** ([`wire`]). Messages ride the
+//!   `res-store` record convention — length-prefixed, FNV-64
+//!   checksummed lines — under reserved tags `Q`/`R`, over loopback
+//!   TCP or a unix socket. Torn and corrupt frames are detected the
+//!   same way a torn store tail is.
+//! * **Hot store** ([`hotstore`]). Absorbed per-program
+//!   [`res_store::SolverStore`]s stay open across requests in an LRU
+//!   set; commits happen on eviction and shutdown, and each commit
+//!   runs the store's [`res_store::CompactionPolicy`]
+//!   (age/size/supersedure — `store.compact.auto` in the journal).
+//! * **Bounded ingest + admission control** ([`server`]). A full queue
+//!   or an over-ceiling budget is answered with
+//!   [`WireResponse::Rejected`] immediately — never clamped, since a
+//!   clamped budget would silently change results.
+//! * **Observability.** Queue depth, hot-set size, per-fingerprint hit
+//!   counters, admission rejections all land in the daemon's `res-obs`
+//!   journal under `serve.*`.
+
+pub mod client;
+pub mod hotstore;
+pub mod server;
+pub mod wire;
+
+pub use client::TriageClient;
+pub use hotstore::HotStore;
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use wire::{ServerStats, WireRequest, WireResponse, REQUEST_TAG, RESPONSE_TAG};

@@ -1,0 +1,517 @@
+//! The triage daemon: bounded ingest queue, worker pool, hot store,
+//! admission control.
+//!
+//! ```text
+//!            accept thread            worker pool (N threads)
+//! client ──► conn thread ──try_send──► bounded queue ──► triage_in_store
+//!               │   ▲                                        │
+//!               │   └──────────── reply channel ◄────────────┘
+//!               └── Rejected{...} when the queue is full or the
+//!                   request's budget exceeds the daemon's ceiling
+//! ```
+//!
+//! Each connection gets a thread that reads framed requests and writes
+//! framed responses in order. Work requests pass admission control and
+//! enter a bounded [`std::sync::mpsc::sync_channel`]; a full queue is
+//! answered *immediately* with [`WireResponse::Rejected`] — the
+//! backpressure contract — rather than blocking the client. Workers
+//! drain the queue, route every store access through the shared
+//! [`HotStore`], and answer through a per-job reply channel.
+//!
+//! Admission control never *clamps* a budget — a clamped budget would
+//! change which suffixes a request finds, silently breaking the
+//! byte-identity contract. A request either runs with exactly the
+//! budget it asked for or is rejected with the reason. Batch requests
+//! occupy one queue slot, so their per-item ceiling is the daemon's
+//! per-request ceiling [`res_core::Budget::slice`]d across the batch.
+
+use std::io::{self, BufReader, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use res_core::{Budget, ResConfig};
+use res_obs::Recorder;
+use res_store::CompactionPolicy;
+use res_triage::{hw_verdict_for, hw_verdict_for_in_store, triage, triage_in_store, TriageRequest};
+
+use crate::hotstore::HotStore;
+use crate::wire::{
+    read_request, write_response, Conn, Listener, ServerStats, WireRequest, WireResponse,
+};
+
+/// Everything the daemon is configured with.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address: `127.0.0.1:0` (loopback TCP, port 0 picks a free
+    /// one) or `unix:/path/to.sock`.
+    pub addr: String,
+    /// Worker threads draining the queue. `0` is allowed (nothing
+    /// drains — the backpressure tests use it to fill the queue
+    /// deterministically).
+    pub workers: usize,
+    /// Ingest queue capacity; admission rejects beyond it.
+    pub queue_cap: usize,
+    /// Programs kept warm in the hot store.
+    pub hot_cap: usize,
+    /// Hot-store directory (`None` serves store-less: every request
+    /// pays a cold search).
+    pub store_dir: Option<PathBuf>,
+    /// Compaction policy applied to every hot store file on commit.
+    pub policy: CompactionPolicy,
+    /// Per-request budget ceiling. `None` admits everything; `Some`
+    /// rejects any request whose effective budget exceeds a dimension
+    /// (batches: the ceiling sliced across the batch).
+    pub ceiling: Option<Budget>,
+    /// Base engine config requests inherit (and override per call).
+    /// `cache_path`/`trace` are cleared at startup — the hot store owns
+    /// store routing, and per-engine journals would truncate each
+    /// other.
+    pub config: ResConfig,
+    /// The daemon's JSONL trace journal (`serve.*` and `store.*`
+    /// metrics land here).
+    pub trace: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 64,
+            hot_cap: 8,
+            store_dir: None,
+            policy: CompactionPolicy::default(),
+            ceiling: None,
+            config: ResConfig::default(),
+            trace: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    depth: AtomicU64,
+    admitted: AtomicU64,
+    rejected_queue: AtomicU64,
+    rejected_budget: AtomicU64,
+    completed: AtomicU64,
+}
+
+struct Shared {
+    addr: String,
+    config: ResConfig,
+    queue_cap: usize,
+    workers: usize,
+    hot: Option<HotStore>,
+    ceiling: Option<Budget>,
+    rec: Recorder,
+    serve_rec: Recorder,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let (hot_hits, hot_misses, hot_evictions) =
+            self.hot.as_ref().map(|h| h.counters()).unwrap_or((0, 0, 0));
+        ServerStats {
+            queue_depth: self.counters.depth.load(Ordering::SeqCst),
+            queue_cap: self.queue_cap as u64,
+            workers: self.workers as u64,
+            hot_programs: self.hot.as_ref().map(|h| h.len() as u64).unwrap_or(0),
+            hot_hits,
+            hot_misses,
+            hot_evictions,
+            admitted: self.counters.admitted.load(Ordering::SeqCst),
+            rejected_queue: self.counters.rejected_queue.load(Ordering::SeqCst),
+            rejected_budget: self.counters.rejected_budget.load(Ordering::SeqCst),
+            completed: self.counters.completed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Flushes the counters as `serve.*` gauges (queue depth, hot-set
+    /// size, admissions, rejections) so the journal carries them even
+    /// if no event fired recently.
+    fn publish_gauges(&self) {
+        let s = self.stats();
+        self.serve_rec.gauge("queue.depth", s.queue_depth);
+        self.serve_rec.gauge("hot.programs", s.hot_programs);
+        self.serve_rec.gauge("admitted", s.admitted);
+        self.serve_rec.gauge("rejected.queue", s.rejected_queue);
+        self.serve_rec.gauge("rejected.budget", s.rejected_budget);
+        self.serve_rec.gauge("completed", s.completed);
+    }
+}
+
+/// One queued job: the work plus the channel its answer goes back on.
+struct Job {
+    req: WireRequest,
+    reply: mpsc::Sender<WireResponse>,
+}
+
+/// A running daemon. Dropping the handle stops it ([`ServerHandle::stop`]).
+pub struct ServerHandle {
+    addr: String,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Dropped by [`stop`](ServerHandle::stop) so that with zero
+    /// workers the queued jobs (and their reply senders) are released
+    /// and blocked connections fail over to an error response.
+    queue_rx: Option<Arc<Mutex<Receiver<Job>>>>,
+    stopped: bool,
+}
+
+impl ServerHandle {
+    /// The bound address, connectable by [`crate::TriageClient`].
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// A stats snapshot without going over the wire.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until a client asks the daemon to shut down
+    /// ([`WireRequest::Shutdown`]), then tears it down — the
+    /// foreground `res-cli serve` path.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.stop();
+    }
+
+    /// Stops the daemon: refuses new connections, releases the queue,
+    /// joins every thread, commits the hot store, and flushes the
+    /// trace journal. Idempotent. Connections still open block the
+    /// join until their client disconnects.
+    pub fn stop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // With zero workers this is the only receiver, so dropping it
+        // here cancels queued jobs and releases conn threads blocked on
+        // their reply channel — they must exit before the accept join
+        // below can finish. With workers the receiver stays alive
+        // through their Arc clones and they drain the queue as usual.
+        self.queue_rx = None;
+        // Unblock the accept loop; it checks the flag per iteration.
+        let _ = Conn::connect(&self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(hot) = &self.shared.hot {
+            let committed = hot.flush_all();
+            self.shared.serve_rec.event_with("flush", || {
+                vec![("committed".into(), committed.to_string())]
+            });
+        }
+        self.shared.publish_gauges();
+        self.shared.rec.finish();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Boots the daemon and returns its handle (with the actual bound
+/// address, for `addr`s like `127.0.0.1:0`).
+pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = Listener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let rec = cfg
+        .trace
+        .as_ref()
+        .map(Recorder::journal)
+        .unwrap_or_default();
+    let serve_rec = rec.scoped("serve");
+    let hot = cfg
+        .store_dir
+        .as_ref()
+        .map(|dir| HotStore::new(dir, cfg.hot_cap, cfg.policy, &rec));
+    let mut config = cfg.config.clone();
+    config.cache_path = None;
+    config.trace = None;
+    let shared = Arc::new(Shared {
+        addr: addr.clone(),
+        config,
+        queue_cap: cfg.queue_cap,
+        workers: cfg.workers,
+        hot,
+        ceiling: cfg.ceiling,
+        rec,
+        serve_rec,
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+    });
+    let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_cap.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..cfg.workers)
+        .map(|w| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("res-serve-w{w}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .expect("spawn worker")
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("res-serve-accept".into())
+            .spawn(move || accept_loop(listener, shared, tx))
+            .expect("spawn accept loop")
+    };
+    shared
+        .serve_rec
+        .event_with("start", || vec![("addr".into(), addr.clone())]);
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+        queue_rx: Some(rx),
+        stopped: false,
+    })
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>, tx: SyncSender<Job>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        let handle = std::thread::Builder::new()
+            .name("res-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_conn(conn, &shared, &tx);
+            })
+            .expect("spawn conn thread");
+        conns.push(handle);
+    }
+    drop(tx);
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn handle_conn(conn: Conn, shared: &Shared, tx: &SyncSender<Job>) -> io::Result<()> {
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = conn;
+    while let Some(req) = read_request(&mut reader)? {
+        let resp = match req {
+            WireRequest::Stats => WireResponse::Stats(shared.stats()),
+            WireRequest::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.serve_rec.event_with("shutdown", || vec![]);
+                // Wake the accept loop so it notices the flag.
+                let _ = Conn::connect(&shared.addr);
+                WireResponse::ShuttingDown
+            }
+            work => dispatch(work, shared, tx),
+        };
+        write_response(&mut writer, &resp)?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Admission + enqueue + wait for the worker's answer.
+fn dispatch(req: WireRequest, shared: &Shared, tx: &SyncSender<Job>) -> WireResponse {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return WireResponse::ShuttingDown;
+    }
+    if let Err(reason) = admit(&req, shared) {
+        shared
+            .counters
+            .rejected_budget
+            .fetch_add(1, Ordering::SeqCst);
+        shared.serve_rec.counter("rejected.budget", 1);
+        return WireResponse::Rejected {
+            reason,
+            queue_depth: shared.counters.depth.load(Ordering::SeqCst),
+        };
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        req,
+        reply: reply_tx,
+    };
+    // Count the job before handing it over: a worker may dequeue (and
+    // decrement) the instant try_send returns.
+    let depth = shared.counters.depth.fetch_add(1, Ordering::SeqCst) + 1;
+    match tx.try_send(job) {
+        Ok(()) => {
+            shared.counters.admitted.fetch_add(1, Ordering::SeqCst);
+            shared.serve_rec.counter("admitted", 1);
+            shared.serve_rec.gauge("queue.depth", depth);
+        }
+        Err(TrySendError::Full(_)) => {
+            let depth = shared.counters.depth.fetch_sub(1, Ordering::SeqCst) - 1;
+            shared
+                .counters
+                .rejected_queue
+                .fetch_add(1, Ordering::SeqCst);
+            shared.serve_rec.counter("rejected.queue", 1);
+            return WireResponse::Rejected {
+                reason: "queue full".into(),
+                queue_depth: depth,
+            };
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.counters.depth.fetch_sub(1, Ordering::SeqCst);
+            return WireResponse::ShuttingDown;
+        }
+    }
+    reply_rx
+        .recv()
+        .unwrap_or_else(|_| WireResponse::Error("server shut down before completing".into()))
+}
+
+/// Checks a work request against the daemon's budget ceiling. Batches
+/// share one queue slot, so each item must fit the ceiling sliced
+/// across the batch ([`Budget::slice`]).
+fn admit(req: &WireRequest, shared: &Shared) -> Result<(), String> {
+    let Some(ceiling) = shared.ceiling else {
+        return Ok(());
+    };
+    let items: Vec<&TriageRequest> = match req {
+        WireRequest::Triage(r) => vec![r],
+        WireRequest::BucketBatch(rs) | WireRequest::HwFilterBatch(rs) => rs.iter().collect(),
+        WireRequest::Stats | WireRequest::Shutdown => return Ok(()),
+    };
+    let cap = ceiling.slice(items.len().max(1));
+    for (i, r) in items.iter().enumerate() {
+        let b = r
+            .synth_options(&shared.config)
+            .effective_budget(&shared.config);
+        if b.max_nodes > cap.max_nodes {
+            return Err(format!(
+                "item {i}: max_nodes {} exceeds admitted ceiling {}",
+                b.max_nodes, cap.max_nodes
+            ));
+        }
+        if b.hyp_max_steps > cap.hyp_max_steps {
+            return Err(format!(
+                "item {i}: hyp_max_steps {} exceeds admitted ceiling {}",
+                b.hyp_max_steps, cap.hyp_max_steps
+            ));
+        }
+        match (b.max_solver_assignments, cap.max_solver_assignments) {
+            (_, None) => {}
+            (None, Some(cap)) => {
+                return Err(format!(
+                    "item {i}: unlimited solver assignments exceed admitted ceiling {cap}"
+                ));
+            }
+            (Some(b), Some(cap)) if b > cap => {
+                return Err(format!(
+                    "item {i}: max_solver_assignments {b} exceeds admitted ceiling {cap}"
+                ));
+            }
+            _ => {}
+        }
+        if let Some(cap) = cap.deadline {
+            match b.deadline {
+                None => {
+                    return Err(format!(
+                        "item {i}: unbounded deadline exceeds admitted ceiling {}ms",
+                        cap.as_millis()
+                    ));
+                }
+                Some(d) if d > cap => {
+                    return Err(format!(
+                        "item {i}: deadline {}ms exceeds admitted ceiling {}ms",
+                        d.as_millis(),
+                        cap.as_millis()
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("queue lock");
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        let depth = shared.counters.depth.fetch_sub(1, Ordering::SeqCst) - 1;
+        shared.serve_rec.gauge("queue.depth", depth);
+        let started = Instant::now();
+        let resp = process(job.req, shared);
+        shared
+            .serve_rec
+            .observe("latency_us", started.elapsed().as_micros() as u64);
+        shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+        shared.serve_rec.counter("completed", 1);
+        shared.publish_gauges();
+        // The conn thread may have given up (client gone) — fine.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Runs one admitted job. Every store access goes through the hot
+/// store; with no store dir configured the plain library entry points
+/// run (same results, cold each time).
+fn process(req: WireRequest, shared: &Shared) -> WireResponse {
+    match req {
+        WireRequest::Triage(r) => WireResponse::Triage(run_triage(&r, shared)),
+        WireRequest::BucketBatch(rs) => WireResponse::BucketBatch(
+            rs.iter()
+                .map(|r| run_triage(r, shared).bucket_key)
+                .collect(),
+        ),
+        WireRequest::HwFilterBatch(rs) => WireResponse::HwFilterBatch(
+            rs.iter()
+                .map(|r| match &shared.hot {
+                    Some(hot) => {
+                        let store = hot.checkout(&r.program);
+                        let mut store = store.lock().expect("store lock");
+                        hw_verdict_for_in_store(r, &shared.config, &mut store)
+                    }
+                    None => hw_verdict_for(r, &shared.config),
+                })
+                .collect(),
+        ),
+        WireRequest::Stats | WireRequest::Shutdown => {
+            WireResponse::Error("not a queued request".into())
+        }
+    }
+}
+
+fn run_triage(r: &TriageRequest, shared: &Shared) -> res_triage::TriageResponse {
+    match &shared.hot {
+        Some(hot) => {
+            let store = hot.checkout(&r.program);
+            let mut store = store.lock().expect("store lock");
+            triage_in_store(r, &shared.config, &mut store)
+        }
+        None => triage(r, &shared.config),
+    }
+}

@@ -69,15 +69,21 @@
 //! Commits are atomic: the new content is written to a sibling
 //! temporary file and `rename`d over the store, so a crash mid-commit
 //! never corrupts previously-committed records. After a commit the
-//! store also compacts itself when supersedure garbage exceeds a
-//! configurable fraction of the file
-//! ([`SolverStore::set_auto_compact`]).
+//! store also compacts itself per a [`CompactionPolicy`] — supersedure
+//! ratio, byte ceiling, and/or stale-stats age
+//! ([`SolverStore::set_compaction_policy`]).
+//!
+//! The record framing (`encode_record`/`decode_record`) is exported for
+//! reuse: `res-serve` frames its wire requests/responses with the same
+//! length-prefixed checksummed convention under reserved tags, so the
+//! daemon's protocol inherits the store's torn/corrupt-detection for
+//! free.
 
 mod format;
 mod store;
 
-pub use format::{fnv64, Header, FORMAT_VERSION, MAGIC};
+pub use format::{decode_record, encode_record, fnv64, Header, Tag, FORMAT_VERSION, MAGIC};
 pub use store::{
-    program_fingerprint, CommitReport, CompactReport, LoadOutcome, LoadReport, SolverStore,
-    StoreStats, DEFAULT_AUTO_COMPACT_RATIO,
+    program_fingerprint, CommitReport, CompactReport, CompactionPolicy, LoadOutcome, LoadReport,
+    SolverStore, StoreStats, DEFAULT_AUTO_COMPACT_RATIO,
 };

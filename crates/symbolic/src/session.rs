@@ -18,6 +18,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
+use mvm_json::json_struct;
 use res_obs::Recorder;
 
 use crate::expr::ExprRef;
@@ -64,6 +65,20 @@ pub struct SessionStats {
     /// α-equivalent query with a different (equally valid) verdict.
     pub private_results: u64,
 }
+
+json_struct!(SessionStats {
+    queries,
+    cache_hits,
+    cache_misses,
+    absorbed_hits,
+    store_hits,
+    sat,
+    unsat,
+    unknown_budget,
+    unknown_incomplete,
+    assignments,
+    private_results
+});
 
 impl SessionStats {
     /// Counter-wise difference `self - earlier`; use with a snapshot

@@ -14,29 +14,41 @@ use res_baselines::wer::{bucket_by_stack, build_report, BucketingReport};
 use res_core::{analyze_root_cause, replay_suffix, ResConfig, ResEngine};
 use res_workloads::FailureReport;
 
-/// Computes the RES bucket key for one report.
-pub fn res_bucket_key(program: &Program, dump: &Coredump, config: &ResConfig) -> String {
-    // A hang has no faulting suffix to synthesize, but its root cause —
-    // the cyclic wait — is directly evident in the dump: the *set* of
-    // blocked sites. Order-normalizing that set (like the §3.1 race
-    // keys) makes the key stable across which thread the reporter
-    // happened to call "faulting", where stack bucketing splits.
-    if let mvm_machine::Fault::Deadlock { threads } = &dump.fault {
-        let mut sites: Vec<String> = threads
-            .iter()
-            .filter_map(|tid| dump.thread(*tid))
-            .map(|t| t.pc().to_string())
-            .collect();
-        if sites.is_empty() {
-            sites = dump.threads.iter().map(|t| t.pc().to_string()).collect();
-        }
-        sites.sort();
-        sites.dedup();
-        return format!("deadlock:{}", sites.join("&"));
+/// The order-normalized deadlock key, when the dump records a hang.
+///
+/// A hang has no faulting suffix to synthesize, but its root cause —
+/// the cyclic wait — is directly evident in the dump: the *set* of
+/// blocked sites. Order-normalizing that set (like the §3.1 race
+/// keys) makes the key stable across which thread the reporter
+/// happened to call "faulting", where stack bucketing splits.
+pub fn deadlock_bucket_key(dump: &Coredump) -> Option<String> {
+    let mvm_machine::Fault::Deadlock { threads } = &dump.fault else {
+        return None;
+    };
+    let mut sites: Vec<String> = threads
+        .iter()
+        .filter_map(|tid| dump.thread(*tid))
+        .map(|t| t.pc().to_string())
+        .collect();
+    if sites.is_empty() {
+        sites = dump.threads.iter().map(|t| t.pc().to_string()).collect();
     }
-    let engine = ResEngine::new(program, config.clone());
-    let result = engine.synthesize(dump);
-    for sfx in &result.suffixes {
+    sites.sort();
+    sites.dedup();
+    Some(format!("deadlock:{}", sites.join("&")))
+}
+
+/// The bucket key an already-synthesized suffix set yields: the first
+/// replay-confirmed root cause, else the stack-signature fallback
+/// (marked `unexplained:`), mirroring the paper's suggestion to combine
+/// RES with existing triage. [`res_bucket_key`] is this over a fresh
+/// synthesis; the triage daemon calls it on results it already holds.
+pub fn bucket_key_for(
+    program: &Program,
+    dump: &Coredump,
+    suffixes: &[res_core::ExecutionSuffix],
+) -> String {
+    for sfx in suffixes {
         if !replay_suffix(program, dump, sfx).reproduced {
             continue;
         }
@@ -51,29 +63,37 @@ pub fn res_bucket_key(program: &Program, dump: &Coredump, config: &ResConfig) ->
     format!("unexplained:{}|{}", sig.signal, frames.join(";"))
 }
 
-/// RES bucket keys for a whole corpus.
-pub fn res_bucket_keys(corpus: &[FailureReport], config: &ResConfig) -> Vec<String> {
-    corpus
-        .iter()
-        .map(|r| res_bucket_key(&r.program, &r.dump, config))
-        .collect()
+/// Computes the RES bucket key for one report.
+pub fn res_bucket_key(program: &Program, dump: &Coredump, config: &ResConfig) -> String {
+    if let Some(key) = deadlock_bucket_key(dump) {
+        return key;
+    }
+    let engine = ResEngine::new(program, config.clone());
+    let result = engine.synthesize(dump);
+    bucket_key_for(program, dump, &result.suffixes)
 }
 
-/// [`res_bucket_keys`] backed by a shared persistent-store directory:
-/// each report's engine warms from (and appends to) its program's store
-/// file, so repeated reports of one program skip repeated solver work —
-/// across this call *and* across process runs. The keys are identical
-/// to the store-less ones (see `res-store`'s determinism argument).
-pub fn res_bucket_keys_shared(
+/// RES bucket keys for a whole corpus.
+///
+/// When `store_dir` is given, each report's engine warms from (and
+/// appends to) its program's store file inside that shared
+/// persistent-store directory, so repeated reports of one program skip
+/// repeated solver work — across this call *and* across process runs.
+/// The keys are identical either way (see `res-store`'s determinism
+/// argument); `None` is the plain store-less path.
+pub fn res_bucket_keys(
     corpus: &[FailureReport],
     config: &ResConfig,
-    store_dir: &std::path::Path,
+    store_dir: Option<&std::path::Path>,
 ) -> Vec<String> {
     corpus
         .iter()
-        .map(|r| {
-            let cfg = crate::store::with_shared_store(config, store_dir, &r.program);
-            res_bucket_key(&r.program, &r.dump, &cfg)
+        .map(|r| match store_dir {
+            Some(dir) => {
+                let cfg = crate::store::with_shared_store(config, dir, &r.program);
+                res_bucket_key(&r.program, &r.dump, &cfg)
+            }
+            None => res_bucket_key(&r.program, &r.dump, config),
         })
         .collect()
 }
@@ -94,7 +114,7 @@ pub fn triage_corpus(
     config: &ResConfig,
 ) -> TriageComparison {
     let wer = bucket_by_stack(corpus, stack_depth);
-    let keys = res_bucket_keys(corpus, config);
+    let keys = res_bucket_keys(corpus, config, None);
     let res = build_report(corpus, keys);
     TriageComparison { wer, res }
 }
@@ -111,7 +131,7 @@ mod tests {
             per_kind: 3,
             ..CorpusSpec::default()
         });
-        let keys = res_bucket_keys(&corpus, &ResConfig::default());
+        let keys = res_bucket_keys(&corpus, &ResConfig::default(), None);
         // All reports of one bug share a key; the two bugs differ.
         let uaf_keys: Vec<&String> = corpus
             .iter()

@@ -68,23 +68,13 @@ impl HwFilterStudy {
 /// Corrupts every other report in the corpus (alternating memory flips
 /// and register corruption at consequential sites, falling back to
 /// random sites), runs the filter, and scores it.
-pub fn filter_corpus(corpus: &[FailureReport], config: &ResConfig) -> HwFilterStudy {
-    filter_corpus_inner(corpus, config, None)
-}
-
-/// [`filter_corpus`] backed by a shared persistent-store directory —
-/// the same directory the §3.1 bucketing helpers use, so the relaxation
-/// sweep replays solver results the bucketing pass (or an earlier
-/// process) already paid for. Verdicts are identical either way.
-pub fn filter_corpus_shared(
-    corpus: &[FailureReport],
-    config: &ResConfig,
-    store_dir: &std::path::Path,
-) -> HwFilterStudy {
-    filter_corpus_inner(corpus, config, Some(store_dir))
-}
-
-fn filter_corpus_inner(
+///
+/// When `store_dir` is given, the sweep is backed by a shared
+/// persistent-store directory — the same directory the §3.1 bucketing
+/// helpers use, so the relaxation sweep replays solver results the
+/// bucketing pass (or an earlier process) already paid for. Verdicts
+/// are identical either way; `None` is the plain store-less path.
+pub fn filter_corpus(
     corpus: &[FailureReport],
     config: &ResConfig,
     store_dir: Option<&std::path::Path>,
@@ -141,7 +131,7 @@ mod tests {
             per_kind: 2,
             ..CorpusSpec::default()
         });
-        let study = filter_corpus(&corpus, &ResConfig::default());
+        let study = filter_corpus(&corpus, &ResConfig::default(), None);
         assert_eq!(study.false_positives, 0, "{study:?}");
         assert!(study.precision() >= 0.99);
     }

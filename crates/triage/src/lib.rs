@@ -2,6 +2,10 @@
 //!
 //! The paper's three use cases, built on the `res-core` engine:
 //!
+//! * [`api`] — the typed entry point: one [`TriageRequest`] in, one
+//!   [`TriageResponse`] out, both plain mvm-json values. The same
+//!   structs are the `res-serve` daemon's wire payloads, so a daemon
+//!   answer and a direct [`triage`] call compare field by field.
 //! * [`bucket`] — triage failure reports by *synthesized root cause*
 //!   instead of call-stack signature; measured against the WER-like
 //!   baseline on labeled corpora (experiment E5).
@@ -20,17 +24,25 @@
 //!   programs, thread-sharded, rates reported as min/median/max
 //!   distributions (experiments E5c/E6c/E7c).
 
+pub mod api;
 pub mod bucket;
 pub mod corpus_scale;
 pub mod exploit;
 pub mod hwfilter;
 pub mod store;
 
-pub use bucket::{res_bucket_keys, res_bucket_keys_shared, triage_corpus, TriageComparison};
+pub use api::{
+    hw_verdict_for, hw_verdict_for_in_store, triage, triage_in_store, SuffixSummary, TriageRequest,
+    TriageResponse,
+};
+pub use bucket::{
+    bucket_key_for, deadlock_bucket_key, res_bucket_key, res_bucket_keys, triage_corpus,
+    TriageComparison,
+};
 pub use corpus_scale::{
     exploit_scale, hardware_scale, triage_scale, CorpusScaleSpec, Dist, ExploitScaleReport,
     HwScaleReport, TriageScaleReport,
 };
 pub use exploit::{classify_with_res, exploitability_study, ExploitStudy};
-pub use hwfilter::{filter_corpus, filter_corpus_shared, HwFilterStudy};
+pub use hwfilter::{filter_corpus, HwFilterStudy};
 pub use store::{store_path_for, with_shared_store};

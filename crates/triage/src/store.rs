@@ -31,8 +31,8 @@ pub fn with_shared_store(config: &ResConfig, dir: &Path, program: &Program) -> R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bucket::{res_bucket_keys, res_bucket_keys_shared};
-    use crate::hwfilter::{filter_corpus, filter_corpus_shared};
+    use crate::bucket::res_bucket_keys;
+    use crate::hwfilter::filter_corpus;
     use res_workloads::{generate_corpus, BugKind, CorpusSpec};
 
     #[test]
@@ -46,9 +46,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let config = ResConfig::default();
 
-        let plain = res_bucket_keys(&corpus, &config);
-        let cold = res_bucket_keys_shared(&corpus, &config, &dir);
-        let warm = res_bucket_keys_shared(&corpus, &config, &dir);
+        let plain = res_bucket_keys(&corpus, &config, None);
+        let cold = res_bucket_keys(&corpus, &config, Some(&dir));
+        let warm = res_bucket_keys(&corpus, &config, Some(&dir));
         assert_eq!(plain, cold, "a store must never change bucket keys");
         assert_eq!(cold, warm, "warm keys must match cold keys");
 
@@ -58,8 +58,8 @@ mod tests {
 
         // The §3.2 sweep shares the same directory (and so the same
         // per-program files) without changing verdicts.
-        let baseline = filter_corpus(&corpus, &config);
-        let shared = filter_corpus_shared(&corpus, &config, &dir);
+        let baseline = filter_corpus(&corpus, &config, None);
+        let shared = filter_corpus(&corpus, &config, Some(&dir));
         for (a, b) in baseline.reports.iter().zip(shared.reports.iter()) {
             assert_eq!(a.verdict, b.verdict, "report {}", a.index);
         }

@@ -48,7 +48,7 @@ fn main() {
 
     // RES: bucket by synthesized root cause.
     println!("RES root-cause bucketing:");
-    let keys = res_bucket_keys(&corpus, &ResConfig::default());
+    let keys = res_bucket_keys(&corpus, &ResConfig::default(), None);
     let mut seen = std::collections::BTreeMap::new();
     for (r, k) in corpus.iter().zip(&keys) {
         seen.entry(k.clone())

@@ -63,6 +63,45 @@ RES_BENCH_OUT="$repo_root" \
 test -s "$repo_root/BENCH_e3_speculative_yield.json" \
     || { echo "bench artifact was never written"; exit 1; }
 
+echo "==> triage daemon gate (serve/submit round trip, batch byte-identity)"
+# Layer 1: the shipped binaries. Boot `res-serve` on an ephemeral port,
+# round-trip one coredump through `res-cli submit`, and shut it down
+# over the wire.
+serve_dir="$scratch_dir/serve"
+mkdir -p "$serve_dir"
+cargo run --release -q --bin res-cli -- crash div-by-zero "$serve_dir/dump" > /dev/null
+cargo run --release -q --bin res-serve -- --addr 127.0.0.1:0 \
+    --store "$serve_dir/hot" --trace "$serve_dir/serve.jsonl" \
+    > "$serve_dir/addr.txt" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^addr: ' "$serve_dir/addr.txt" 2>/dev/null && break
+    sleep 0.1
+done
+serve_addr="$(sed -n 's/^addr: //p' "$serve_dir/addr.txt")"
+test -n "$serve_addr" || { echo "daemon never printed its address"; exit 1; }
+cargo run --release -q --bin res-cli -- submit "$serve_dir/dump" --addr "$serve_addr" \
+    | grep -q "REPRODUCED" || { echo "submitted dump did not reproduce"; exit 1; }
+cargo run --release -q --bin res-cli -- shutdown --addr "$serve_addr" > /dev/null
+wait "$serve_pid"
+grep -q "serve.completed" "$serve_dir/serve.jsonl" \
+    || { echo "daemon journal missing serve gauges"; exit 1; }
+# Layer 2: the SRV throughput extract. Boots the daemon in-process,
+# shards a >=50-dump generated corpus across concurrent client
+# connections twice (cold, then warm hot store), and exits non-zero
+# unless every answer is byte-identical to the sequential direct
+# library run, the warm pass serves a nonzero hot-store hit rate, and
+# automatic store compaction fired. Emits BENCH_serve_throughput.json
+# plus the daemon's own journal.
+RES_BENCH_OUT="$repo_root" \
+    cargo run --release -q -p res-bench --bin harness -- srv | tail -n 1
+test -s "$repo_root/BENCH_serve_throughput.json" \
+    || { echo "serve bench artifact was never written"; exit 1; }
+for needle in serve.queue.depth serve.hot.programs serve.hot.hit store.compact.auto; do
+    grep -q "$needle" "$repo_root/BENCH_serve_journal.jsonl" \
+        || { echo "daemon journal missing $needle"; exit 1; }
+done
+
 echo "==> traced determinism gate (golden suffix fixture with RES_TRACE on)"
 # The observability contract: the recorder is strictly passive. Run the
 # golden fixture test with journaling enabled — the fixture file is

@@ -4,21 +4,76 @@
 //! res-cli demo <bug>          run a bundled buggy workload end to end
 //! res-cli list                list bundled bug workloads
 //! res-cli crash <bug> <dir>   crash a workload; write program.json + dump.json
-//! res-cli synthesize <dir>    synthesize + replay + root-cause from those files
+//! res-cli synthesize <dir> [--workers N] [--store FILE] [--trace PATH]
+//!                             synthesize + replay + root-cause from those files
 //! res-cli verdict <dir>       hardware-vs-software verdict for the dump
 //! res-cli trace <journal>     pretty-print a res-obs JSONL trace journal
+//! res-cli serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N]
+//!               [--store DIR] [--trace PATH]
+//!                             run the triage daemon in the foreground
+//! res-cli submit <dir> [--addr A] [--max-nodes N] [--deadline-ms N] [--workers N]
+//!                             send the dir's program+dump to a running daemon
+//! res-cli shutdown [--addr A] ask a running daemon to exit
 //! ```
 //!
 //! Programs and coredumps are exchanged as JSON, so dumps can be
 //! inspected, archived, or corrupted (for §3.2 experiments) with
-//! ordinary tools. `synthesize` honors `RES_TRACE=<path>`: the run is
-//! journaled there, and `res-cli trace <path>` renders the span tree
-//! and counter totals afterwards.
+//! ordinary tools. `synthesize` journals to `--trace PATH` (or the
+//! `RES_TRACE=<path>` environment fallback), and `res-cli trace <path>`
+//! renders the span tree and counter totals afterwards. `serve`/`submit`
+//! speak the typed [`res_debugger::triage::TriageRequest`] wire protocol
+//! over loopback TCP or (with `--addr unix:/path`) a unix socket.
 
 use std::path::Path;
 
 use res_debugger::prelude::*;
+use res_debugger::serve::{serve, ServeConfig, TriageClient};
+use res_debugger::triage::TriageRequest;
 use res_debugger::workloads::run_to_failure;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7466";
+
+/// Splits `args` into positional operands and `--flag value` pairs.
+/// Unknown flags and missing values fall through to `usage()`.
+fn parse_flags(args: &[String], known: &[&str]) -> (Vec<String>, Vec<(String, String)>) {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if !known.contains(&name) {
+                usage();
+            }
+            match it.next() {
+                Some(v) => flags.push((name.to_string(), v.clone())),
+                None => usage(),
+            }
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    (pos, flags)
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parsed<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+) -> Result<Option<T>, String> {
+    match flag(flags, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{name}: invalid value `{v}`")),
+    }
+}
 
 fn find_kind(name: &str) -> Option<BugKind> {
     BugKind::ALL.into_iter().find(|k| k.name() == name)
@@ -74,7 +129,7 @@ fn cmd_crash(kind: BugKind, dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_synthesize(dir: &Path) -> Result<(), String> {
+fn cmd_synthesize(dir: &Path, flags: &[(String, String)]) -> Result<(), String> {
     let (program, dump) = load(dir)?;
     println!(
         "fault: `{}` at {} (thread {})",
@@ -82,12 +137,24 @@ fn cmd_synthesize(dir: &Path) -> Result<(), String> {
         dump.fault_pc(),
         dump.faulting_tid
     );
-    let mut builder = ResConfig::builder();
-    if let Ok(p) = std::env::var("RES_TRACE") {
-        builder = builder.trace(p);
+    let mut opts = SynthOptions::default();
+    if let Some(w) = parsed::<usize>(flags, "workers")? {
+        opts = opts.workers(w);
     }
-    let engine = ResEngine::new(&program, builder.build());
-    let result = engine.synthesize(&dump);
+    if let Some(s) = flag(flags, "store") {
+        opts = opts.cache_path(s);
+    }
+    // --trace wins; RES_TRACE stays as the environment fallback.
+    match flag(flags, "trace") {
+        Some(t) => opts = opts.trace(t),
+        None => {
+            if let Ok(p) = std::env::var("RES_TRACE") {
+                opts = opts.trace(p);
+            }
+        }
+    }
+    let engine = ResEngine::new(&program, ResConfig::default());
+    let result = engine.synthesize_with(&dump, opts);
     println!(
         "verdict: {:?} — {} suffix(es), {} hypotheses, deepest {}",
         result.verdict,
@@ -163,9 +230,80 @@ fn cmd_demo(kind: BugKind) -> Result<(), String> {
     Err("no suffix replayed".into())
 }
 
+fn cmd_serve(flags: &[(String, String)]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    if let Some(a) = flag(flags, "addr") {
+        cfg.addr = a.to_string();
+    }
+    if let Some(w) = parsed(flags, "workers")? {
+        cfg.workers = w;
+    }
+    if let Some(q) = parsed(flags, "queue-cap")? {
+        cfg.queue_cap = q;
+    }
+    if let Some(h) = parsed(flags, "hot-cap")? {
+        cfg.hot_cap = h;
+    }
+    if let Some(s) = flag(flags, "store") {
+        cfg.store_dir = Some(s.into());
+    }
+    if let Some(t) = flag(flags, "trace") {
+        cfg.trace = Some(t.into());
+    }
+    let mut handle = serve(cfg).map_err(|e| format!("starting daemon: {e}"))?;
+    println!("addr: {}", handle.addr());
+    handle.wait();
+    Ok(())
+}
+
+fn cmd_submit(dir: &Path, flags: &[(String, String)]) -> Result<(), String> {
+    let (program, dump) = load(dir)?;
+    let mut req = TriageRequest::new(program, dump);
+    if let Some(n) = parsed(flags, "max-nodes")? {
+        req = req.max_nodes(n);
+    }
+    if let Some(ms) = parsed(flags, "deadline-ms")? {
+        req = req.deadline_ms(ms);
+    }
+    if let Some(w) = parsed(flags, "workers")? {
+        req = req.workers(w);
+    }
+    let addr = flag(flags, "addr").unwrap_or(DEFAULT_ADDR);
+    let mut client =
+        TriageClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let resp = client.triage(req).map_err(|e| format!("submitting: {e}"))?;
+    match resp {
+        Ok(r) => {
+            println!("verdict: {:?}", r.verdict);
+            println!("bucket: {}", r.bucket_key);
+            for (i, s) in r.suffixes.iter().enumerate() {
+                println!(
+                    "suffix #{i}: {} blocks / {} instructions, replay {}",
+                    s.steps,
+                    s.instructions,
+                    if s.replayed { "REPRODUCED" } else { "diverged" }
+                );
+            }
+            Ok(())
+        }
+        Err(other) => Err(format!("daemon declined the request: {other:?}")),
+    }
+}
+
+fn cmd_shutdown(flags: &[(String, String)]) -> Result<(), String> {
+    let addr = flag(flags, "addr").unwrap_or(DEFAULT_ADDR);
+    let mut client =
+        TriageClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    client
+        .shutdown()
+        .map_err(|e| format!("shutting down: {e}"))?;
+    println!("daemon at {addr} is shutting down");
+    Ok(())
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  res-cli list\n  res-cli demo <bug>\n  res-cli crash <bug> <dir>\n  res-cli synthesize <dir>\n  res-cli verdict <dir>\n  res-cli trace <journal>"
+        "usage:\n  res-cli list\n  res-cli demo <bug>\n  res-cli crash <bug> <dir>\n  res-cli synthesize <dir> [--workers N] [--store FILE] [--trace PATH]\n  res-cli verdict <dir>\n  res-cli trace <journal>\n  res-cli serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N] [--store DIR] [--trace PATH]\n  res-cli submit <dir> [--addr A] [--max-nodes N] [--deadline-ms N] [--workers N]\n  res-cli shutdown [--addr A]"
     );
     std::process::exit(2)
 }
@@ -185,10 +323,13 @@ fn main() {
             (Some(kind), Some(dir)) => cmd_crash(kind, Path::new(dir)),
             _ => usage(),
         },
-        Some("synthesize") => match args.get(1) {
-            Some(dir) => cmd_synthesize(Path::new(dir)),
-            None => usage(),
-        },
+        Some("synthesize") => {
+            let (pos, flags) = parse_flags(&args[1..], &["workers", "store", "trace"]);
+            match pos.first() {
+                Some(dir) => cmd_synthesize(Path::new(dir), &flags),
+                None => usage(),
+            }
+        }
         Some("verdict") => match args.get(1) {
             Some(dir) => cmd_verdict(Path::new(dir)),
             None => usage(),
@@ -197,6 +338,31 @@ fn main() {
             Some(journal) => cmd_trace(Path::new(journal)),
             None => usage(),
         },
+        Some("serve") => {
+            let (pos, flags) = parse_flags(
+                &args[1..],
+                &["addr", "workers", "queue-cap", "hot-cap", "store", "trace"],
+            );
+            if !pos.is_empty() {
+                usage();
+            }
+            cmd_serve(&flags)
+        }
+        Some("submit") => {
+            let (pos, flags) =
+                parse_flags(&args[1..], &["addr", "max-nodes", "deadline-ms", "workers"]);
+            match pos.first() {
+                Some(dir) => cmd_submit(Path::new(dir), &flags),
+                None => usage(),
+            }
+        }
+        Some("shutdown") => {
+            let (pos, flags) = parse_flags(&args[1..], &["addr"]);
+            if !pos.is_empty() {
+                usage();
+            }
+            cmd_shutdown(&flags)
+        }
         _ => usage(),
     };
     if let Err(e) = result {

@@ -1,0 +1,67 @@
+//! `res-serve` — the standalone triage daemon.
+//!
+//! ```text
+//! res-serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N]
+//!           [--store DIR] [--trace PATH]
+//!           [--ceiling-nodes N] [--ceiling-deadline-ms N]
+//! ```
+//!
+//! Boots the daemon, prints the bound address on stdout (`addr: ...`),
+//! and serves until a client sends a shutdown request (`res-cli
+//! shutdown <addr>`). See `res_serve` for the protocol and DESIGN.md
+//! for the service architecture.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use res_debugger::serve::{serve, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: res-serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N] \
+         [--store DIR] [--trace PATH] [--ceiling-nodes N] [--ceiling-deadline-ms N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut ceiling_nodes: Option<u64> = None;
+    let mut ceiling_deadline_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => cfg.queue_cap = val().parse().unwrap_or_else(|_| usage()),
+            "--hot-cap" => cfg.hot_cap = val().parse().unwrap_or_else(|_| usage()),
+            "--store" => cfg.store_dir = Some(PathBuf::from(val())),
+            "--trace" => cfg.trace = Some(PathBuf::from(val())),
+            "--ceiling-nodes" => ceiling_nodes = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--ceiling-deadline-ms" => {
+                ceiling_deadline_ms = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+    if ceiling_nodes.is_some() || ceiling_deadline_ms.is_some() {
+        let mut b = cfg.config.budget();
+        if let Some(n) = ceiling_nodes {
+            b.max_nodes = n;
+        }
+        b.deadline = ceiling_deadline_ms.map(Duration::from_millis);
+        cfg.ceiling = Some(b);
+    }
+    match serve(cfg) {
+        Ok(mut handle) => {
+            println!("addr: {}", handle.addr());
+            handle.wait();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`res`] | `res-core` | **the paper's contribution**: suffix search, replay, analyses |
 //! | [`obs`] | `res-obs` | hermetic tracing/metrics: spans, counters, JSONL journal |
 //! | [`store`] | `res-store` | persistent cross-run solver-result store |
+//! | [`serve`] | `res-serve` | triage daemon: typed requests over checksummed framing |
 //! | [`baselines`] | `res-baselines` | forward ES, static slicing, record-replay, WER, !exploitable |
 //! | [`triage`] | `res-triage` | bucketing, exploitability, hardware filtering |
 //! | [`workloads`] | `res-workloads` | synthetic bug programs and corpora |
@@ -69,6 +70,7 @@ pub use mvm_symbolic as symbolic;
 pub use res_baselines as baselines;
 pub use res_core as res;
 pub use res_obs as obs;
+pub use res_serve as serve;
 pub use res_store as store;
 pub use res_triage as triage;
 pub use res_workloads as workloads;

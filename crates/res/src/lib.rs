@@ -49,7 +49,9 @@ pub use kernel::{
     auto_workers, parallel_map, AbandonedSpace, Budget, CutReason, EnumPath, FrontierKind,
     KernelStats, NodeScore, ParallelReport, ShardedFrontier, SpeculativeYield, VerdictCollector,
 };
-pub use replay::{replay_suffix, ReplayReport};
+pub use replay::{
+    replay_observed, replay_suffix, Divergence, DivergenceKind, ObservedEvent, ReplayReport,
+};
 pub use rootcause::{analyze_root_cause, RootCause};
 pub use search::{
     ResConfig, ResConfigBuilder, ResEngine, StoreReport, SynthOptions, SynthesisResult, Verdict,

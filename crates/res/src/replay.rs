@@ -14,10 +14,13 @@
 //! byte.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 use mvm_core::{diff_dumps, Coredump, DumpDiff};
-use mvm_isa::Program;
+use mvm_isa::{Loc, Program, Width};
+use mvm_json::{json_enum, json_struct};
 use mvm_machine::{
+    AccessKind,
     AllocState,
     Fault,
     Frame,
@@ -27,6 +30,7 @@ use mvm_machine::{
     ThreadId,
     ThreadState,
     ThreadStatus,
+    TraceEvent,
     TraceLevel, //
 };
 
@@ -240,5 +244,443 @@ pub fn replay_with_trace(
             steps_executed,
         },
         m,
+    )
+}
+
+/// One block-granular schedule event as concretely executed: where the
+/// range started and ended, how many instructions ran, and every memory
+/// write it performed `(addr, width, value)`, in program order.
+///
+/// A recorded trace stores one of these per schedule event; `verify`
+/// replays against a (possibly modified) program and compares the
+/// re-observed events against the recorded ones, reporting the point of
+/// first difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedEvent {
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// Pc at range start.
+    pub start: Loc,
+    /// Pc after the range.
+    pub end: Loc,
+    /// Instructions executed in the range.
+    pub steps: u64,
+    /// Memory writes performed, in order.
+    pub writes: Vec<(u64, Width, u64)>,
+}
+
+json_struct!(ObservedEvent {
+    tid,
+    start,
+    end,
+    steps,
+    writes
+});
+
+/// The point of first difference between a recorded execution and a
+/// replay of it (typically against a modified program — the "did the
+/// fix work?" verdict).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index of the diverging schedule event. The final faulting step
+    /// and the end-state comparison report as index `schedule.len()`.
+    pub event: usize,
+    /// The thread executing the diverging event.
+    pub tid: ThreadId,
+    /// What differed.
+    pub kind: DivergenceKind,
+}
+
+json_struct!(Divergence { event, tid, kind });
+
+/// What the replay did differently from the recording.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DivergenceKind {
+    /// The thread was at a different pc when the event began.
+    StartLoc {
+        /// Recorded start pc.
+        expected: Loc,
+        /// Replayed start pc.
+        got: Loc,
+    },
+    /// The thread faulted before completing its scheduled instructions.
+    PrematureFault {
+        /// Instructions the recording executed in this event.
+        expected_steps: u64,
+        /// Instructions the replay completed before faulting.
+        executed: u64,
+        /// The fault hit.
+        fault: Fault,
+    },
+    /// The event's nth memory write differed (or one side stopped
+    /// writing). `None` means "no write at this index".
+    Write {
+        /// Index into the event's write sequence.
+        index: usize,
+        /// Recorded write, if any.
+        expected: Option<(u64, Width, u64)>,
+        /// Replayed write, if any.
+        got: Option<(u64, Width, u64)>,
+    },
+    /// The thread ended the range at a different pc (control flow
+    /// diverged without a differing write).
+    EndLoc {
+        /// Recorded end pc.
+        expected: Loc,
+        /// Replayed end pc.
+        got: Loc,
+    },
+    /// The final step did not reproduce the recorded fault. `got:
+    /// None` means the replay ran past the failure point — the
+    /// recorded failure no longer happens (the fix worked).
+    Fault {
+        /// The recorded fault.
+        expected: Fault,
+        /// The fault the replay hit, if any.
+        got: Option<Fault>,
+    },
+    /// The fault reproduced but the end state differs from the dump
+    /// (counts from [`DumpDiff`]).
+    FinalState {
+        /// Differing memory bytes.
+        memory_bytes: usize,
+        /// Differing registers.
+        registers: usize,
+        /// Differing thread pcs.
+        pcs: usize,
+        /// Thread-set differences.
+        threads: usize,
+    },
+}
+
+json_enum!(DivergenceKind {
+    StartLoc { expected: Loc, got: Loc },
+    PrematureFault { expected_steps: u64, executed: u64, fault: Fault },
+    Write {
+        index: usize,
+        expected: Option<(u64, Width, u64)>,
+        got: Option<(u64, Width, u64)>
+    },
+    EndLoc { expected: Loc, got: Loc },
+    Fault { expected: Fault, got: Option<Fault> },
+    FinalState {
+        memory_bytes: usize,
+        registers: usize,
+        pcs: usize,
+        threads: usize
+    },
+});
+
+fn write_str(w: &Option<(u64, Width, u64)>) -> String {
+    match w {
+        Some((addr, width, value)) => format!("[{addr:#x}] <- {value} ({width:?})"),
+        None => "no write".to_string(),
+    }
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceKind::StartLoc { expected, got } => {
+                write!(f, "start pc mismatch: expected {expected}, got {got}")
+            }
+            DivergenceKind::PrematureFault {
+                expected_steps,
+                executed,
+                fault,
+            } => write!(
+                f,
+                "faulted after {executed}/{expected_steps} instructions: {fault:?}"
+            ),
+            DivergenceKind::Write {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "write #{index}: expected {}, got {}",
+                write_str(expected),
+                write_str(got)
+            ),
+            DivergenceKind::EndLoc { expected, got } => {
+                write!(f, "end pc mismatch: expected {expected}, got {got}")
+            }
+            DivergenceKind::Fault { expected, got } => match got {
+                Some(g) => write!(f, "fault mismatch: expected {expected:?}, got {g:?}"),
+                None => write!(
+                    f,
+                    "expected fault {expected:?} did not occur (execution continues)"
+                ),
+            },
+            DivergenceKind::FinalState {
+                memory_bytes,
+                registers,
+                pcs,
+                threads,
+            } => write!(
+                f,
+                "end state differs from dump: {memory_bytes} memory bytes, \
+                 {registers} registers, {pcs} pcs, {threads} thread-set entries"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event {} (thread {}): {}",
+            self.event, self.tid, self.kind
+        )
+    }
+}
+
+/// Replays a suffix while observing each schedule event ([`ObservedEvent`]
+/// per event, with the concrete writes it performed).
+///
+/// Without `expected` this is plain recording: the returned events are
+/// what a byte-identical replay executes. With `expected` (the events a
+/// previous recording captured) the replay stops at the first event
+/// that deviates — different start pc, premature fault, differing
+/// write, different end pc, missing or different final fault, or a
+/// final-state mismatch — and reports it as a [`Divergence`].
+///
+/// The driving loop mirrors [`replay_with_trace`] exactly (including
+/// the settle steps for halted/blocked threads and the deadlock path)
+/// so an unmodified program re-observes exactly what it recorded.
+pub fn replay_observed(
+    program: &Program,
+    dump: &Coredump,
+    suffix: &ExecutionSuffix,
+    expected: Option<&[ObservedEvent]>,
+) -> (ReplayReport, Vec<ObservedEvent>, Option<Divergence>) {
+    let mut m = instantiate(program, dump, suffix, TraceLevel::Full);
+    let mut steps_executed = 0u64;
+    let mut observed: Vec<ObservedEvent> = Vec::new();
+    let mut remaining: HashMap<ThreadId, u64> = HashMap::new();
+    for (tid, n) in suffix.schedule() {
+        *remaining.entry(tid).or_default() += n;
+    }
+    let fail = |m: &Machine, fault: Option<Fault>, steps: u64| ReplayReport {
+        reproduced: false,
+        fault_matches: false,
+        diff: diff_dumps(&Coredump::capture_anyway(m), dump, 64),
+        replay_fault: fault,
+        steps_executed: steps,
+    };
+    let schedule = suffix.schedule();
+
+    for (i, &(tid, n)) in schedule.iter().enumerate() {
+        let exp = expected.and_then(|e| e.get(i));
+        let start = m.threads()[&tid].pc();
+        if let Some(e) = exp {
+            if start != e.start {
+                let div = Divergence {
+                    event: i,
+                    tid,
+                    kind: DivergenceKind::StartLoc {
+                        expected: e.start,
+                        got: start,
+                    },
+                };
+                return (fail(&m, None, steps_executed), observed, Some(div));
+            }
+        }
+        let mark = m.tracer().events().len();
+        let mut executed = 0u64;
+        let mut premature: Option<Fault> = None;
+        for _ in 0..n {
+            match m.step_thread(tid) {
+                Ok(_) => {
+                    steps_executed += 1;
+                    executed += 1;
+                }
+                Err(fault) => {
+                    premature = Some(fault);
+                    break;
+                }
+            }
+        }
+        let writes: Vec<(u64, Width, u64)> = m.tracer().events()[mark..]
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Mem {
+                    kind: AccessKind::Write,
+                    addr,
+                    value,
+                    width,
+                    ..
+                } => Some((*addr, *width, *value)),
+                _ => None,
+            })
+            .collect();
+        let end = m.threads()[&tid].pc();
+        if let Some(fault) = premature {
+            observed.push(ObservedEvent {
+                tid,
+                start,
+                end,
+                steps: executed,
+                writes,
+            });
+            let div = Divergence {
+                event: i,
+                tid,
+                kind: DivergenceKind::PrematureFault {
+                    expected_steps: n,
+                    executed,
+                    fault: fault.clone(),
+                },
+            };
+            return (fail(&m, Some(fault), steps_executed), observed, Some(div));
+        }
+        if let Some(e) = exp {
+            if writes != e.writes {
+                let idx = writes
+                    .iter()
+                    .zip(e.writes.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(writes.len().min(e.writes.len()));
+                let div = Divergence {
+                    event: i,
+                    tid,
+                    kind: DivergenceKind::Write {
+                        index: idx,
+                        expected: e.writes.get(idx).copied(),
+                        got: writes.get(idx).copied(),
+                    },
+                };
+                observed.push(ObservedEvent {
+                    tid,
+                    start,
+                    end,
+                    steps: n,
+                    writes,
+                });
+                return (fail(&m, None, steps_executed), observed, Some(div));
+            }
+            if end != e.end {
+                let div = Divergence {
+                    event: i,
+                    tid,
+                    kind: DivergenceKind::EndLoc {
+                        expected: e.end,
+                        got: end,
+                    },
+                };
+                observed.push(ObservedEvent {
+                    tid,
+                    start,
+                    end,
+                    steps: n,
+                    writes,
+                });
+                return (fail(&m, None, steps_executed), observed, Some(div));
+            }
+        }
+        observed.push(ObservedEvent {
+            tid,
+            start,
+            end,
+            steps: n,
+            writes,
+        });
+        let rem = remaining.get_mut(&tid).expect("scheduled thread");
+        *rem -= n;
+        if *rem == 0 {
+            if let Some(dt) = dump.thread(tid) {
+                let runnable = m.threads()[&tid].status == ThreadStatus::Runnable;
+                let needs_settle = matches!(
+                    dt.status,
+                    ThreadStatus::Halted | ThreadStatus::BlockedOnLock(_)
+                ) && runnable
+                    && tid != dump.faulting_tid;
+                if needs_settle {
+                    if let Err(fault) = m.step_thread(tid) {
+                        let div = Divergence {
+                            event: i,
+                            tid,
+                            kind: DivergenceKind::PrematureFault {
+                                expected_steps: n,
+                                executed: n,
+                                fault: fault.clone(),
+                            },
+                        };
+                        return (fail(&m, Some(fault), steps_executed), observed, Some(div));
+                    }
+                    steps_executed += 1;
+                }
+            }
+        }
+    }
+
+    // The final faulting step.
+    let replay_fault = if matches!(dump.fault, Fault::Deadlock { .. }) {
+        let _ = m.step_thread(dump.faulting_tid);
+        steps_executed += 1;
+        match m.run() {
+            mvm_machine::Outcome::Faulted { fault, .. } => Some(fault),
+            _ => None,
+        }
+    } else {
+        match m.step_thread(dump.faulting_tid) {
+            Err(fault) => {
+                steps_executed += 1;
+                Some(fault)
+            }
+            Ok(_) => {
+                steps_executed += 1;
+                None
+            }
+        }
+    };
+
+    let fault_matches = match (&replay_fault, &dump.fault) {
+        (Some(a), b) => match (a, *b == *a) {
+            (Fault::Deadlock { .. }, _) => matches!(dump.fault, Fault::Deadlock { .. }),
+            (_, eq) => eq,
+        },
+        (None, _) => false,
+    };
+    let replay_dump = Coredump::capture_anyway(&m);
+    let diff = diff_dumps(&replay_dump, dump, 64);
+    let state_matches = diff.memory_bytes.is_empty()
+        && diff.pcs.is_empty()
+        && diff.registers.is_empty()
+        && diff.thread_set.is_empty();
+    let divergence = if expected.is_some() && !fault_matches {
+        Some(Divergence {
+            event: schedule.len(),
+            tid: dump.faulting_tid,
+            kind: DivergenceKind::Fault {
+                expected: dump.fault.clone(),
+                got: replay_fault.clone(),
+            },
+        })
+    } else if expected.is_some() && !state_matches {
+        Some(Divergence {
+            event: schedule.len(),
+            tid: dump.faulting_tid,
+            kind: DivergenceKind::FinalState {
+                memory_bytes: diff.memory_bytes.len(),
+                registers: diff.registers.len(),
+                pcs: diff.pcs.len(),
+                threads: diff.thread_set.len(),
+            },
+        })
+    } else {
+        None
+    };
+    (
+        ReplayReport {
+            reproduced: fault_matches && state_matches,
+            fault_matches,
+            diff,
+            replay_fault,
+            steps_executed,
+        },
+        observed,
+        divergence,
     )
 }

@@ -33,6 +33,7 @@ use res_core::{
     ParallelReport, Relax, ResConfig, ResEngine, StoreReport, SynthOptions, SynthesisResult,
     Verdict,
 };
+use res_obs::Recorder;
 use res_store::SolverStore;
 
 use crate::bucket::{bucket_key_for, deadlock_bucket_key};
@@ -64,6 +65,11 @@ pub struct TriageRequest {
     pub store: Option<String>,
     /// JSONL trace path for this call.
     pub trace: Option<String>,
+    /// Return a portable replay-trace artifact (`res-trace` text
+    /// encoding) in [`TriageResponse::trace`] when a reproduced suffix
+    /// exists. Off by default: the artifact embeds the coredump, so it
+    /// roughly doubles the response size.
+    pub return_trace: bool,
 }
 
 json_struct!(TriageRequest {
@@ -76,7 +82,8 @@ json_struct!(TriageRequest {
     deadline_ms,
     workers,
     store,
-    trace
+    trace,
+    return_trace
 });
 
 impl TriageRequest {
@@ -93,7 +100,14 @@ impl TriageRequest {
             workers: None,
             store: None,
             trace: None,
+            return_trace: false,
         }
+    }
+
+    /// Requests a portable replay-trace artifact in the response.
+    pub fn return_trace(mut self, yes: bool) -> Self {
+        self.return_trace = yes;
+        self
     }
 
     /// Sets the relaxation.
@@ -236,6 +250,11 @@ pub struct TriageResponse {
     pub parallel: Option<ParallelReport>,
     /// Persistent-store accounting; `None` when no store was in play.
     pub store: Option<StoreReport>,
+    /// The portable replay-trace artifact (`res-trace` text encoding,
+    /// first reproduced suffix), when the request asked for one via
+    /// [`TriageRequest::return_trace`]. Write it to a `.restrace` file
+    /// and it replays with `res-cli replay`/`verify`.
+    pub trace: Option<String>,
 }
 
 json_struct!(TriageResponse {
@@ -245,23 +264,46 @@ json_struct!(TriageResponse {
     suffixes,
     stats,
     parallel,
-    store
+    store,
+    trace
 });
 
-fn response_from(program: &Program, dump: &Coredump, result: SynthesisResult) -> TriageResponse {
-    let suffixes = result
+fn response_from(
+    program: &Program,
+    dump: &Coredump,
+    result: SynthesisResult,
+    return_trace: bool,
+) -> TriageResponse {
+    let suffixes: Vec<SuffixSummary> = result
         .suffixes
         .iter()
         .map(|s| summarize(program, dump, s))
         .collect();
+    let bucket_key = bucket_key_for(program, dump, &result.suffixes);
+    let trace = if return_trace {
+        result.suffixes.iter().find_map(|s| {
+            res_trace::record_trace(
+                program,
+                dump,
+                s,
+                Some(bucket_key.clone()),
+                &Recorder::disabled(),
+            )
+            .ok()
+            .map(|t| String::from_utf8(t.to_text_bytes()).expect("text trace is utf-8"))
+        })
+    } else {
+        None
+    };
     TriageResponse {
         verdict: result.verdict,
         deadlock: false,
-        bucket_key: bucket_key_for(program, dump, &result.suffixes),
+        bucket_key,
         suffixes,
         stats: result.stats,
         parallel: result.parallel,
         store: result.store,
+        trace,
     }
 }
 
@@ -283,6 +325,7 @@ fn deadlock_response(key: String) -> TriageResponse {
         stats: KernelStats::default(),
         parallel: None,
         store: None,
+        trace: None,
     }
 }
 
@@ -296,7 +339,7 @@ pub fn triage(req: &TriageRequest, base: &ResConfig) -> TriageResponse {
     }
     let engine = ResEngine::new(&req.program, base.clone());
     let result = engine.synthesize_with(&req.dump, req.synth_options(base));
-    response_from(&req.program, &req.dump, result)
+    response_from(&req.program, &req.dump, result, req.return_trace)
 }
 
 /// [`triage`] with every solver query routed through a caller-owned
@@ -317,7 +360,7 @@ pub fn triage_in_store(
     let mut opts = req.synth_options(base);
     opts.cache_path = None;
     let result = engine.synthesize_in_store(&req.dump, opts, store);
-    response_from(&req.program, &req.dump, result)
+    response_from(&req.program, &req.dump, result, req.return_trace)
 }
 
 /// The §3.2 verdict for one request (relaxation sweep included), with

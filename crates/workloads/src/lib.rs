@@ -26,4 +26,4 @@ pub use gen::{
     collect_failures, corpus_specs, generate, hardware_variant, GenClass, GenFailure, GenSpec,
     GeneratedProgram, GroundTruth,
 };
-pub use progs::{build, BugKind, WorkloadParams};
+pub use progs::{build, build_fixed, BugKind, WorkloadParams};

@@ -511,6 +511,61 @@ pub fn build(kind: BugKind, params: WorkloadParams) -> Program {
     assemble(&src).unwrap_or_else(|e| panic!("workload {kind:?} failed to assemble: {e}"))
 }
 
+/// Builds the *repaired* variant of a bug program, when the template
+/// has a canonical one-line fix: the same source with the defect
+/// corrected. The trace `verify` workflow ("did the fix work?") replays
+/// a failure recorded against [`build`]'s program under the fixed
+/// binary and expects a divergence — the recorded failure must no
+/// longer happen. Returns `None` for kinds without a canonical fix.
+pub fn build_fixed(kind: BugKind, params: WorkloadParams) -> Option<Program> {
+    let pre = prefix(params.prefix_iters);
+    let src = match kind {
+        // The quota arithmetic no longer reaches zero (`sub 3` →
+        // `sub 2`), so the stored divisor is 1 and the division
+        // succeeds. Diverges at the quota *store* — a Write mismatch
+        // inside the recorded window.
+        BugKind::DivByZero => format!(
+            r#"
+            global quota 8 = 3
+            {pre}
+            bug_entry:
+                addr r0, quota
+                load r1, [r0]
+                sub r1, r1, 2
+                store r1, [r0]
+                jmp divide
+            divide:
+                load r2, [r0]
+                divu r3, 1000, r2
+                halt
+            }}
+            "#
+        ),
+        // The parity check is neutralized (`remu 2` → `remu 1` is
+        // always 0), so the assertion holds. No memory write differs —
+        // the divergence is the recorded Assert fault not occurring.
+        BugKind::SemanticAssert => format!(
+            r#"
+            global config 8 = 7
+            {pre}
+            bug_entry:
+                addr r0, config
+                load r1, [r0]
+                remu r2, r1, 1
+                eq r3, r2, 0
+                assert r3, "config must be even"
+                halt
+            }}
+            "#
+        ),
+        _ => return None,
+    };
+    Some(
+        assemble(&src)
+            .unwrap_or_else(|e| panic!("fixed workload {kind:?} failed to assemble: {e}")),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

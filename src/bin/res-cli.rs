@@ -3,33 +3,53 @@
 //! ```text
 //! res-cli demo <bug>          run a bundled buggy workload end to end
 //! res-cli list                list bundled bug workloads
-//! res-cli crash <bug> <dir>   crash a workload; write program.json + dump.json
+//! res-cli crash <bug> <dir> [--emit-fixed]
+//!                             crash a workload; write program.json + dump.json
+//!                             (--emit-fixed also writes program.fixed.json)
 //! res-cli synthesize <dir> [--workers N] [--store FILE] [--trace PATH]
 //!                             synthesize + replay + root-cause from those files
+//! res-cli record <dir> [--out FILE] [--workers N] [--store FILE] [--trace PATH]
+//!                             synthesize, then save a portable replay trace
+//!                             (.restrace = JSON, .restrace.bin = binary)
+//! res-cli replay <dir> <trace>
+//!                             re-run a recorded trace; exit 0 iff REPRODUCED
+//! res-cli verify <dir> <trace>
+//!                             check the dir's program against a recording:
+//!                             PASS, or FAIL with the first divergence
 //! res-cli verdict <dir>       hardware-vs-software verdict for the dump
 //! res-cli trace <journal>     pretty-print a res-obs JSONL trace journal
 //! res-cli serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N]
 //!               [--store DIR] [--trace PATH]
 //!                             run the triage daemon in the foreground
 //! res-cli submit <dir> [--addr A] [--max-nodes N] [--deadline-ms N] [--workers N]
+//!               [--emit-trace FILE]
 //!                             send the dir's program+dump to a running daemon
 //! res-cli shutdown [--addr A] ask a running daemon to exit
 //! ```
 //!
 //! Programs and coredumps are exchanged as JSON, so dumps can be
 //! inspected, archived, or corrupted (for §3.2 experiments) with
-//! ordinary tools. `synthesize` journals to `--trace PATH` (or the
-//! `RES_TRACE=<path>` environment fallback), and `res-cli trace <path>`
-//! renders the span tree and counter totals afterwards. `serve`/`submit`
-//! speak the typed [`res_debugger::triage::TriageRequest`] wire protocol
-//! over loopback TCP or (with `--addr unix:/path`) a unix socket.
+//! ordinary tools. `serve`/`submit` speak the typed
+//! [`res_debugger::triage::TriageRequest`] wire protocol over loopback
+//! TCP or (with `--addr unix:/path`) a unix socket.
+//!
+//! # Observability journal precedence
+//!
+//! Every subcommand that journals res-obs events (`synthesize`,
+//! `record`, `serve`) resolves the journal path the same way: an
+//! explicit `--trace PATH` flag always wins; otherwise the `RES_TRACE`
+//! environment variable is the fallback; otherwise no journal is
+//! written. This is the single authoritative statement of that
+//! precedence — [`journal_path`] implements it. (Replay traces —
+//! `record`/`replay`/`verify` files — are unrelated to the journal;
+//! they use `--out` and positional paths.)
 
 use std::path::Path;
 
 use res_debugger::prelude::*;
 use res_debugger::serve::{serve, ServeConfig, TriageClient};
-use res_debugger::triage::TriageRequest;
-use res_debugger::workloads::run_to_failure;
+use res_debugger::triage::{bucket_key_for, TriageRequest};
+use res_debugger::workloads::{build_fixed, run_to_failure};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7466";
 
@@ -79,15 +99,42 @@ fn find_kind(name: &str) -> Option<BugKind> {
     BugKind::ALL.into_iter().find(|k| k.name() == name)
 }
 
-fn load(dir: &Path) -> Result<(Program, Coredump), String> {
+fn load_program(dir: &Path) -> Result<Program, String> {
     let p = std::fs::read_to_string(dir.join("program.json"))
         .map_err(|e| format!("reading program.json: {e}"))?;
+    mvm_json::from_str(&p).map_err(|e| format!("parsing program.json: {e}"))
+}
+
+fn load(dir: &Path) -> Result<(Program, Coredump), String> {
+    let program = load_program(dir)?;
     let d = std::fs::read_to_string(dir.join("dump.json"))
         .map_err(|e| format!("reading dump.json: {e}"))?;
-    let program: Program =
-        mvm_json::from_str(&p).map_err(|e| format!("parsing program.json: {e}"))?;
     let dump: Coredump = mvm_json::from_str(&d).map_err(|e| format!("parsing dump.json: {e}"))?;
     Ok((program, dump))
+}
+
+/// The one place `--trace` vs `RES_TRACE` precedence is decided: the
+/// flag wins, the environment variable is the fallback.
+fn journal_path(flags: &[(String, String)]) -> Option<String> {
+    flag(flags, "trace")
+        .map(str::to_string)
+        .or_else(|| std::env::var("RES_TRACE").ok())
+}
+
+/// Shared `--workers` / `--store` / `--trace` handling for the
+/// subcommands that run a synthesis ([`cmd_synthesize`], [`cmd_record`]).
+fn synth_opts(flags: &[(String, String)]) -> Result<SynthOptions, String> {
+    let mut opts = SynthOptions::default();
+    if let Some(w) = parsed::<usize>(flags, "workers")? {
+        opts = opts.workers(w);
+    }
+    if let Some(s) = flag(flags, "store") {
+        opts = opts.cache_path(s);
+    }
+    if let Some(t) = journal_path(flags) {
+        opts = opts.trace(t);
+    }
+    Ok(opts)
 }
 
 fn cmd_list() {
@@ -105,7 +152,7 @@ fn cmd_list() {
     }
 }
 
-fn cmd_crash(kind: BugKind, dir: &Path) -> Result<(), String> {
+fn cmd_crash(kind: BugKind, dir: &Path, emit_fixed: bool) -> Result<(), String> {
     let program = build_workload(kind, WorkloadParams::default());
     let machine = (0..500)
         .find_map(|s| run_to_failure(&program, s))
@@ -126,6 +173,16 @@ fn cmd_crash(kind: BugKind, dir: &Path) -> Result<(), String> {
         dump.faulting_tid,
         dir.display()
     );
+    if emit_fixed {
+        let fixed = build_fixed(kind, WorkloadParams::default())
+            .ok_or_else(|| format!("{} has no fixed variant", kind.name()))?;
+        std::fs::write(
+            dir.join("program.fixed.json"),
+            mvm_json::to_string_pretty(&fixed),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("wrote {}/program.fixed.json (bug repaired)", dir.display());
+    }
     Ok(())
 }
 
@@ -137,22 +194,7 @@ fn cmd_synthesize(dir: &Path, flags: &[(String, String)]) -> Result<(), String> 
         dump.fault_pc(),
         dump.faulting_tid
     );
-    let mut opts = SynthOptions::default();
-    if let Some(w) = parsed::<usize>(flags, "workers")? {
-        opts = opts.workers(w);
-    }
-    if let Some(s) = flag(flags, "store") {
-        opts = opts.cache_path(s);
-    }
-    // --trace wins; RES_TRACE stays as the environment fallback.
-    match flag(flags, "trace") {
-        Some(t) => opts = opts.trace(t),
-        None => {
-            if let Ok(p) = std::env::var("RES_TRACE") {
-                opts = opts.trace(p);
-            }
-        }
-    }
+    let opts = synth_opts(flags)?;
     let engine = ResEngine::new(&program, ResConfig::default());
     let result = engine.synthesize_with(&dump, opts);
     println!(
@@ -182,6 +224,97 @@ fn cmd_synthesize(dir: &Path, flags: &[(String, String)]) -> Result<(), String> 
         }
     }
     Ok(())
+}
+
+fn cmd_record(dir: &Path, flags: &[(String, String)]) -> Result<(), String> {
+    let (program, dump) = load(dir)?;
+    let opts = synth_opts(flags)?;
+    let engine = ResEngine::new(&program, ResConfig::default());
+    let result = engine.synthesize_with(&dump, opts);
+    if result.suffixes.is_empty() {
+        return Err(format!(
+            "synthesis produced no suffixes (verdict {:?})",
+            result.verdict
+        ));
+    }
+    let bucket = bucket_key_for(&program, &dump, &result.suffixes);
+    let out = flag(flags, "out")
+        .map(Into::into)
+        .unwrap_or_else(|| dir.join("repro.restrace"));
+    let rec = Recorder::disabled();
+    let mut last_err = String::from("no suffix replayed deterministically");
+    for sfx in &result.suffixes {
+        let trace = match record_trace(&program, &dump, sfx, Some(bucket.clone()), &rec) {
+            Ok(t) => t,
+            Err(e) => {
+                last_err = e.to_string();
+                continue;
+            }
+        };
+        let encoding = trace
+            .write(&out)
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!(
+            "recorded {} ({}): {} events / {} instructions, {} writes, bucket {}",
+            out.display(),
+            encoding.name(),
+            trace.steps.len(),
+            trace.expected.total_steps,
+            trace.total_writes(),
+            bucket
+        );
+        return Ok(());
+    }
+    Err(last_err)
+}
+
+fn cmd_replay(dir: &Path, trace_path: &Path) -> Result<(), String> {
+    let program = load_program(dir)?;
+    let (trace, encoding) = TraceFile::read(trace_path).map_err(|e| e.to_string())?;
+    println!(
+        "{} ({}): format v{}, program {:016x}, {} events, expected `{}`",
+        trace_path.display(),
+        encoding.name(),
+        trace.header.format_version,
+        trace.header.program_fp,
+        trace.steps.len(),
+        trace.expected.fault
+    );
+    let report =
+        replay_trace(&program, &trace, &Recorder::disabled()).map_err(|e| e.to_string())?;
+    if report.reproduced {
+        println!("replay REPRODUCED the recorded failure");
+        Ok(())
+    } else {
+        Err("replay diverged from the recorded failure".into())
+    }
+}
+
+fn cmd_verify(dir: &Path, trace_path: &Path) -> Result<(), String> {
+    let program = load_program(dir)?;
+    let (trace, encoding) = TraceFile::read(trace_path).map_err(|e| e.to_string())?;
+    let out = verify_trace(&program, &trace, &Recorder::disabled());
+    if !out.fingerprint_matches {
+        println!(
+            "note: program differs from the recording (recorded {:016x})",
+            trace.header.program_fp
+        );
+    }
+    if out.pass {
+        println!(
+            "PASS: {} events ({}) replayed identically; fault `{}` reproduced",
+            trace.steps.len(),
+            encoding.name(),
+            trace.expected.fault
+        );
+        Ok(())
+    } else {
+        match &out.divergence {
+            Some(d) => println!("FAIL: first divergence at {d}"),
+            None => println!("FAIL: replay did not reproduce the recorded failure"),
+        }
+        Err("trace verification failed".into())
+    }
 }
 
 fn cmd_verdict(dir: &Path) -> Result<(), String> {
@@ -268,6 +401,10 @@ fn cmd_submit(dir: &Path, flags: &[(String, String)]) -> Result<(), String> {
     if let Some(w) = parsed(flags, "workers")? {
         req = req.workers(w);
     }
+    let emit_trace = flag(flags, "emit-trace");
+    if emit_trace.is_some() {
+        req = req.return_trace(true);
+    }
     let addr = flag(flags, "addr").unwrap_or(DEFAULT_ADDR);
     let mut client =
         TriageClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
@@ -283,6 +420,15 @@ fn cmd_submit(dir: &Path, flags: &[(String, String)]) -> Result<(), String> {
                     s.instructions,
                     if s.replayed { "REPRODUCED" } else { "diverged" }
                 );
+            }
+            if let Some(path) = emit_trace {
+                match &r.trace {
+                    Some(text) => {
+                        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+                        println!("wrote replay trace to {path}");
+                    }
+                    None => println!("daemon returned no replay trace (nothing reproduced?)"),
+                }
             }
             Ok(())
         }
@@ -303,7 +449,22 @@ fn cmd_shutdown(flags: &[(String, String)]) -> Result<(), String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  res-cli list\n  res-cli demo <bug>\n  res-cli crash <bug> <dir>\n  res-cli synthesize <dir> [--workers N] [--store FILE] [--trace PATH]\n  res-cli verdict <dir>\n  res-cli trace <journal>\n  res-cli serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N] [--store DIR] [--trace PATH]\n  res-cli submit <dir> [--addr A] [--max-nodes N] [--deadline-ms N] [--workers N]\n  res-cli shutdown [--addr A]"
+        "usage:
+  res-cli list
+  res-cli demo <bug>
+  res-cli crash <bug> <dir> [--emit-fixed]
+  res-cli synthesize <dir> [--workers N] [--store FILE] [--trace PATH]
+  res-cli record <dir> [--out FILE] [--workers N] [--store FILE] [--trace PATH]
+  res-cli replay <dir> <trace-file>
+  res-cli verify <dir> <trace-file>
+  res-cli verdict <dir>
+  res-cli trace <journal>
+  res-cli serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N] [--store DIR] [--trace PATH]
+  res-cli submit <dir> [--addr A] [--max-nodes N] [--deadline-ms N] [--workers N] [--emit-trace FILE]
+  res-cli shutdown [--addr A]
+
+replay traces end in .restrace (JSON) or .restrace.bin (binary).
+--trace PATH is the res-obs journal; it wins over the RES_TRACE env fallback."
     );
     std::process::exit(2)
 }
@@ -319,10 +480,20 @@ fn main() {
             Some(kind) => cmd_demo(kind),
             None => Err("unknown bug name (try `res-cli list`)".into()),
         },
-        Some("crash") => match (args.get(1).and_then(|n| find_kind(n)), args.get(2)) {
-            (Some(kind), Some(dir)) => cmd_crash(kind, Path::new(dir)),
-            _ => usage(),
-        },
+        Some("crash") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let emit_fixed = match rest.iter().position(|a| a == "--emit-fixed") {
+                Some(i) => {
+                    rest.remove(i);
+                    true
+                }
+                None => false,
+            };
+            match (rest.first().and_then(|n| find_kind(n)), rest.get(1)) {
+                (Some(kind), Some(dir)) => cmd_crash(kind, Path::new(dir), emit_fixed),
+                _ => usage(),
+            }
+        }
         Some("synthesize") => {
             let (pos, flags) = parse_flags(&args[1..], &["workers", "store", "trace"]);
             match pos.first() {
@@ -330,6 +501,21 @@ fn main() {
                 None => usage(),
             }
         }
+        Some("record") => {
+            let (pos, flags) = parse_flags(&args[1..], &["out", "workers", "store", "trace"]);
+            match pos.first() {
+                Some(dir) => cmd_record(Path::new(dir), &flags),
+                None => usage(),
+            }
+        }
+        Some("replay") => match (args.get(1), args.get(2)) {
+            (Some(dir), Some(trace)) => cmd_replay(Path::new(dir), Path::new(trace)),
+            _ => usage(),
+        },
+        Some("verify") => match (args.get(1), args.get(2)) {
+            (Some(dir), Some(trace)) => cmd_verify(Path::new(dir), Path::new(trace)),
+            _ => usage(),
+        },
         Some("verdict") => match args.get(1) {
             Some(dir) => cmd_verdict(Path::new(dir)),
             None => usage(),
@@ -349,8 +535,10 @@ fn main() {
             cmd_serve(&flags)
         }
         Some("submit") => {
-            let (pos, flags) =
-                parse_flags(&args[1..], &["addr", "max-nodes", "deadline-ms", "workers"]);
+            let (pos, flags) = parse_flags(
+                &args[1..],
+                &["addr", "max-nodes", "deadline-ms", "workers", "emit-trace"],
+            );
             match pos.first() {
                 Some(dir) => cmd_submit(Path::new(dir), &flags),
                 None => usage(),

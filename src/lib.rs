@@ -18,6 +18,7 @@
 //! | [`res`] | `res-core` | **the paper's contribution**: suffix search, replay, analyses |
 //! | [`obs`] | `res-obs` | hermetic tracing/metrics: spans, counters, JSONL journal |
 //! | [`store`] | `res-store` | persistent cross-run solver-result store |
+//! | [`trace`] | `res-trace` | portable on-disk replay traces: record / replay / verify |
 //! | [`serve`] | `res-serve` | triage daemon: typed requests over checksummed framing |
 //! | [`baselines`] | `res-baselines` | forward ES, static slicing, record-replay, WER, !exploitable |
 //! | [`triage`] | `res-triage` | bucketing, exploitability, hardware filtering |
@@ -72,6 +73,7 @@ pub use res_core as res;
 pub use res_obs as obs;
 pub use res_serve as serve;
 pub use res_store as store;
+pub use res_trace as trace;
 pub use res_triage as triage;
 pub use res_workloads as workloads;
 
@@ -97,5 +99,6 @@ pub mod prelude {
     };
     pub use res_obs::{read_journal, Recorder};
     pub use res_store::SolverStore;
+    pub use res_trace::{record_trace, replay_trace, verify_trace, TraceFile};
     pub use res_workloads::{build as build_workload, BugKind, WorkloadParams};
 }

@@ -1,0 +1,146 @@
+//! Point-of-first-divergence reporting: the `verify` half of the
+//! record → fix → verify workflow.
+//!
+//! Each scenario records a trace of a buggy program, replays it against
+//! the *repaired* program ([`build_fixed`]), and asserts the exact
+//! divergence payload — event index, thread, and expected-vs-got — not
+//! just "it failed". The payloads are what a developer reads to confirm
+//! a fix changed precisely the behaviour it was supposed to change:
+//!
+//! * DivByZero's fix changes a stored value, so the first difference is
+//!   a **write** divergence at the instruction that writes the repaired
+//!   quota — with the recorded and replayed values side by side.
+//! * SemanticAssert's fix changes only register state, so the replay
+//!   tracks the recording all the way to the final step and reports a
+//!   **fault** divergence with `got: None`: the recorded failure no
+//!   longer happens at all.
+
+use res_debugger::prelude::*;
+use res_debugger::res::{Divergence, DivergenceKind};
+use res_debugger::triage::bucket_key_for;
+use res_debugger::workloads::{build_fixed, run_to_failure};
+
+const PARAMS: WorkloadParams = WorkloadParams {
+    prefix_iters: 2,
+    hash_rounds: 1,
+};
+
+/// Crash `kind`, synthesize, and record the first reproducible suffix.
+fn recorded(kind: BugKind) -> (Program, TraceFile) {
+    let program = build_workload(kind, PARAMS);
+    let machine = (0..500)
+        .find_map(|s| run_to_failure(&program, s))
+        .unwrap_or_else(|| panic!("{} workload must fault", kind.name()));
+    let dump = Coredump::capture(&machine);
+    let engine = ResEngine::new(&program, ResConfig::default());
+    let result = engine.synthesize(&dump);
+    let bucket = bucket_key_for(&program, &dump, &result.suffixes);
+    let trace = result
+        .suffixes
+        .iter()
+        .find_map(|s| {
+            record_trace(
+                &program,
+                &dump,
+                s,
+                Some(bucket.clone()),
+                &Recorder::disabled(),
+            )
+            .ok()
+        })
+        .unwrap_or_else(|| panic!("{} must record", kind.name()));
+    (program, trace)
+}
+
+/// Sanity for every scenario: the unmodified program verifies PASS.
+fn assert_passes(program: &Program, trace: &TraceFile) {
+    let outcome = verify_trace(program, trace, &Recorder::disabled());
+    assert!(outcome.fingerprint_matches);
+    assert!(
+        outcome.pass,
+        "unmodified program must verify PASS, got {:?}",
+        outcome.divergence
+    );
+    assert_eq!(outcome.divergence, None);
+}
+
+#[test]
+fn fixed_div_by_zero_diverges_at_the_repaired_write() {
+    let (program, trace) = recorded(BugKind::DivByZero);
+    assert_passes(&program, &trace);
+
+    let fixed = build_fixed(BugKind::DivByZero, PARAMS).expect("DivByZero has a fixed variant");
+    let outcome = verify_trace(&fixed, &trace, &Recorder::disabled());
+    assert!(!outcome.pass);
+    assert!(!outcome.fingerprint_matches, "the fix changes the program");
+    let d = outcome.divergence.expect("a fixed program must diverge");
+
+    // The recording knows exactly where the buggy program zeroed the
+    // quota: the *last* zero-valued write before the divide (the churn
+    // prefix also stores zeros, but those are untouched by the fix).
+    // Locate it in the trace rather than hardcoding the event index,
+    // then demand an exact payload match.
+    let (event, index, &(addr, width, _)) = trace
+        .steps
+        .iter()
+        .enumerate()
+        .rev()
+        .find_map(|(ei, s)| {
+            s.writes
+                .iter()
+                .enumerate()
+                .find(|(_, &(_, _, v))| v == 0)
+                .map(|(wi, w)| (ei, wi, w))
+        })
+        .expect("the recorded suffix contains the zeroing write");
+    assert_eq!(
+        d,
+        Divergence {
+            event,
+            tid: trace.expected.faulting_tid,
+            kind: DivergenceKind::Write {
+                index,
+                expected: Some((addr, width, 0)),
+                got: Some((addr, width, 1)),
+            },
+        },
+        "first divergence must be the repaired quota write"
+    );
+    // The report's rendering carries the same payload for humans.
+    let shown = format!("{d}");
+    assert!(shown.contains(&format!("event {event}")), "{shown}");
+    assert!(shown.contains("expected"), "{shown}");
+}
+
+#[test]
+fn fixed_semantic_assert_no_longer_faults() {
+    let (program, trace) = recorded(BugKind::SemanticAssert);
+    assert_passes(&program, &trace);
+
+    let fixed =
+        build_fixed(BugKind::SemanticAssert, PARAMS).expect("SemanticAssert has a fixed variant");
+    let outcome = verify_trace(&fixed, &trace, &Recorder::disabled());
+    assert!(!outcome.pass);
+    let d = outcome.divergence.expect("a fixed program must diverge");
+
+    // The fix only changes register state, so every recorded event
+    // replays identically; the divergence is the final faulting step
+    // itself — the recorded assert failure never happens.
+    assert_eq!(
+        d,
+        Divergence {
+            event: trace.steps.len(),
+            tid: trace.expected.faulting_tid,
+            kind: DivergenceKind::Fault {
+                expected: trace.expected.fault.clone(),
+                got: None,
+            },
+        },
+        "the fix must make the recorded fault vanish, not move"
+    );
+}
+
+#[test]
+fn bugs_without_a_fixed_variant_decline() {
+    assert!(build_fixed(BugKind::UseAfterFree, PARAMS).is_none());
+}

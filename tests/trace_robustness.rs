@@ -1,0 +1,199 @@
+//! Robustness of the portable replay-trace format (`res-trace`).
+//!
+//! Traces and solver stores answer damage differently, on purpose. The
+//! store degrades — any damage falls back to a cold start because a
+//! store is only a cache. A trace is a *claim* ("this schedule
+//! reproduces that failure"), and replaying half a schedule can
+//! "verify" something the recording never said, so every kind of
+//! damage here must surface as a typed [`TraceError`] and never as a
+//! partial trace, a panic, or a silent PASS. Each test damages a real
+//! trace a different way — in both encodings where the damage applies —
+//! and asserts the exact error class.
+
+use res_debugger::prelude::*;
+use res_debugger::trace::{Encoding, TraceError};
+use res_debugger::triage::bucket_key_for;
+use res_debugger::workloads::run_to_failure;
+
+/// One recorded trace of the deterministic DivByZero scenario, plus
+/// the program it was recorded against.
+fn recorded() -> (Program, TraceFile) {
+    let program = build_workload(
+        BugKind::DivByZero,
+        WorkloadParams {
+            prefix_iters: 2,
+            hash_rounds: 1,
+        },
+    );
+    let machine = (0..500)
+        .find_map(|s| run_to_failure(&program, s))
+        .expect("DivByZero workload must fault");
+    let dump = Coredump::capture(&machine);
+    let engine = ResEngine::new(&program, ResConfig::default());
+    let result = engine.synthesize(&dump);
+    let bucket = bucket_key_for(&program, &dump, &result.suffixes);
+    let trace = result
+        .suffixes
+        .iter()
+        .find_map(|s| {
+            record_trace(
+                &program,
+                &dump,
+                s,
+                Some(bucket.clone()),
+                &Recorder::disabled(),
+            )
+            .ok()
+        })
+        .expect("a suffix must record");
+    (program, trace)
+}
+
+#[test]
+fn truncation_is_torn_never_partial() {
+    let (_, trace) = recorded();
+    for encoding in [Encoding::Json, Encoding::Binary] {
+        let bytes = trace.to_bytes(encoding);
+        // Tear at several depths: mid-final-record, mid-file, just past
+        // the magic. Every depth must produce a typed error — a torn
+        // trace never yields a shorter schedule.
+        for keep in [bytes.len() - 3, bytes.len() / 2, 40] {
+            let err = TraceFile::from_bytes(&bytes[..keep])
+                .expect_err(&format!("{}: tear at {keep} accepted", encoding.name()));
+            assert!(
+                matches!(err, TraceError::Torn { .. } | TraceError::Missing(_)),
+                "{}: tear at {keep} gave {err:?}",
+                encoding.name()
+            );
+        }
+        // Torn inside the magic itself: not recognizably a trace.
+        assert!(matches!(
+            TraceFile::from_bytes(&bytes[..4]),
+            Err(TraceError::NotATrace)
+        ));
+    }
+}
+
+#[test]
+fn corrupted_payload_is_torn_at_the_damaged_record() {
+    let (_, trace) = recorded();
+    // Text: flip one payload byte mid-file; the checksum catches it.
+    let text = trace.to_bytes(Encoding::Json);
+    let mut tampered = text.clone();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x01;
+    match TraceFile::from_bytes(&tampered) {
+        Err(TraceError::Torn { record }) => assert!(record > 0, "magic is intact"),
+        other => panic!("corrupt text byte gave {other:?}"),
+    }
+    // Binary: same damage, same answer.
+    let bin = trace.to_bytes(Encoding::Binary);
+    let mut tampered = bin.clone();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x01;
+    assert!(
+        matches!(
+            TraceFile::from_bytes(&tampered),
+            Err(TraceError::Torn { .. })
+        ),
+        "corrupt binary byte must be torn"
+    );
+}
+
+#[test]
+fn foreign_bytes_are_not_a_trace() {
+    for junk in [
+        &b""[..],
+        b"hello world\n",
+        b"RES-STORE 1 deadbeef\n", // a solver store, not a trace
+        b"{\"header\":{}}",
+    ] {
+        assert!(
+            matches!(TraceFile::from_bytes(junk), Err(TraceError::NotATrace)),
+            "accepted junk {junk:?}"
+        );
+    }
+}
+
+#[test]
+fn future_format_version_is_refused_with_the_version() {
+    let (_, trace) = recorded();
+    // Text magic line: `RES-TRACE 1 <fp>` -> version 99.
+    let text = String::from_utf8(trace.to_bytes(Encoding::Json)).unwrap();
+    let bumped = text.replacen("RES-TRACE 1", "RES-TRACE 99", 1);
+    assert_eq!(
+        TraceFile::from_bytes(bumped.as_bytes()).unwrap_err(),
+        TraceError::Version(99)
+    );
+    // Binary magic: `RES-TRACE-BIN 1\n` -> version 9 (same length, so
+    // the framing after it is untouched).
+    let mut bin = trace.to_bytes(Encoding::Binary);
+    let needle = b"RES-TRACE-BIN 1\n";
+    assert_eq!(&bin[..needle.len()], needle);
+    bin[needle.len() - 2] = b'9';
+    assert_eq!(
+        TraceFile::from_bytes(&bin).unwrap_err(),
+        TraceError::Version(9)
+    );
+}
+
+#[test]
+fn missing_section_is_reported_by_name() {
+    let (_, trace) = recorded();
+    let text = String::from_utf8(trace.to_bytes(Encoding::Json)).unwrap();
+    // Drop the expected-outcome record (tag X) entirely; the file is
+    // otherwise pristine, so this exercises the completeness check
+    // rather than the framing.
+    let without: String = text
+        .lines()
+        .filter(|l| !l.starts_with("X "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(
+        TraceFile::from_bytes(without.as_bytes()).unwrap_err(),
+        TraceError::Missing("expected-outcome")
+    );
+}
+
+#[test]
+fn replay_refuses_a_foreign_program_by_fingerprint() {
+    let (_, trace) = recorded();
+    let other = build_workload(
+        BugKind::UseAfterFree,
+        WorkloadParams {
+            prefix_iters: 2,
+            hash_rounds: 1,
+        },
+    );
+    let err = replay_trace(&other, &trace, &Recorder::disabled()).unwrap_err();
+    match err {
+        TraceError::Fingerprint { expected, got } => {
+            assert_eq!(expected, trace.header.program_fp);
+            assert_ne!(got, expected);
+        }
+        other => panic!("foreign program gave {other:?}"),
+    }
+}
+
+/// Damage must also be typed end to end: a torn file on disk surfaces
+/// through [`TraceFile::read`] the same way as through `from_bytes`.
+#[test]
+fn read_from_disk_reports_the_same_typed_errors() {
+    let (_, trace) = recorded();
+    let dir = std::env::temp_dir().join(format!("res-trace-robust-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.restrace");
+    trace.write(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        TraceFile::read(&path),
+        Err(TraceError::Torn { .. } | TraceError::Missing(_))
+    ));
+    assert!(matches!(
+        TraceFile::read(&dir.join("absent.restrace")),
+        Err(TraceError::Io(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

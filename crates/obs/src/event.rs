@@ -66,6 +66,11 @@ pub enum EventKind {
         min: u64,
         /// Largest observation.
         max: u64,
+        /// Power-of-two bucket counts (see
+        /// [`registry::bucket_index`](crate::registry::bucket_index)),
+        /// trailing zeros trimmed. `None` in journals written before
+        /// distributions were recorded (the summary fields still hold).
+        buckets: Option<Vec<u64>>,
     },
     /// A discrete occurrence with free-form string fields.
     Mark {
@@ -90,7 +95,8 @@ json_enum!(EventKind {
         count: u64,
         sum: u64,
         min: u64,
-        max: u64
+        max: u64,
+        buckets: Option<Vec<u64>>
     },
     Mark {
         name: String,
@@ -151,6 +157,15 @@ mod tests {
                 sum: 12,
                 min: 2,
                 max: 6,
+                buckets: None,
+            },
+            EventKind::Histo {
+                name: "serve.rtt.triage_us".into(),
+                count: 2,
+                sum: 30,
+                min: 10,
+                max: 20,
+                buckets: Some(vec![0, 0, 0, 0, 1, 1]),
             },
             EventKind::Mark {
                 name: "kernel.cut".into(),
@@ -164,6 +179,16 @@ mod tests {
                 kind,
             });
         }
+    }
+
+    #[test]
+    fn histo_without_buckets_key_parses_as_none() {
+        // Journals written before bucketed histograms existed omit the
+        // key entirely; they must keep parsing.
+        let line =
+            r#"{"seq":0,"t_us":5,"kind":{"Histo":{"name":"h","count":1,"sum":9,"min":9,"max":9}}}"#;
+        let e: Event = mvm_json::from_str(line).expect("legacy histo parses");
+        assert!(matches!(&e.kind, EventKind::Histo { buckets: None, .. }));
     }
 
     #[test]

@@ -62,9 +62,23 @@
 //! assert_eq!(render::counter_totals(&events)["kernel.nodes_expanded"], 3);
 //! ```
 
+//!
+//! ## Live telemetry
+//!
+//! Long-lived daemons need the complementary *live* view: latency
+//! distributions a stats endpoint can snapshot mid-flight. The
+//! [`registry`] module provides a [`Registry`] of wait-free bucketed
+//! [`Histogram`]s with integer p50/p95/p99 extraction, and [`query`]
+//! turns a parsed journal back into per-request span trees, glob-
+//! filtered counters, and percentile summaries (the library behind
+//! `res-cli journal`).
+
 mod event;
+pub mod query;
 mod recorder;
+pub mod registry;
 pub mod render;
 
 pub use event::{Event, EventKind};
-pub use recorder::{read_journal, Recorder, Span};
+pub use recorder::{read_journal, read_journal_full, Journal, Recorder, Span, JOURNAL_VERSION};
+pub use registry::{HistoSnapshot, Histogram, Registry};

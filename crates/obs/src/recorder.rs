@@ -7,7 +7,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use mvm_json::{FromJson as _, Json, ToJson as _};
+
 use crate::event::{Event, EventKind};
+use crate::registry::{bucket_index, BUCKETS};
+
+/// The journal schema version this crate writes. Every JSONL line
+/// carries a leading `"v"` key so readers can tell apart (and skip)
+/// lines written by a future incompatible writer instead of failing the
+/// whole file; see [`read_journal_full`].
+pub const JOURNAL_VERSION: u64 = 1;
 
 /// A cheaply clonable, thread-safe tracing handle.
 ///
@@ -57,12 +66,23 @@ struct Metrics {
     histos: BTreeMap<String, HistoAcc>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct HistoAcc {
     count: u64,
     sum: u64,
     min: u64,
     max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistoAcc {
+    fn trimmed_buckets(&self) -> Vec<u64> {
+        let mut buckets = self.buckets.to_vec();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        buckets
+    }
 }
 
 impl Recorder {
@@ -167,25 +187,23 @@ impl Recorder {
     }
 
     /// Records one observation in the named histogram (count/sum/min/
-    /// max summary).
+    /// max summary plus a power-of-two bucket distribution, so
+    /// [`render`](crate::render) can print quantiles post-mortem).
     pub fn observe(&self, name: &str, value: u64) {
         let Some(inner) = &self.inner else { return };
         let mut metrics = inner.metrics.lock().expect("metrics lock");
-        metrics
-            .histos
-            .entry(self.key(name))
-            .and_modify(|h| {
-                h.count += 1;
-                h.sum += value;
-                h.min = h.min.min(value);
-                h.max = h.max.max(value);
-            })
-            .or_insert(HistoAcc {
-                count: 1,
-                sum: value,
-                min: value,
-                max: value,
-            });
+        let h = metrics.histos.entry(self.key(name)).or_insert(HistoAcc {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        });
+        h.count += 1;
+        h.sum += value;
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+        h.buckets[bucket_index(value)] += 1;
     }
 
     /// Emits a discrete [`EventKind::Mark`]. The field closure runs
@@ -257,6 +275,7 @@ impl Recorder {
                 sum: h.sum,
                 min: h.min,
                 max: h.max,
+                buckets: Some(h.trimmed_buckets()),
             }))
             .collect();
         drop(metrics);
@@ -267,6 +286,53 @@ impl Recorder {
         if let SinkOut::File(f) = &mut sink.out {
             let _ = f.flush();
         }
+    }
+
+    /// Emits the current value of every gauge under this handle's
+    /// prefix as [`EventKind::Gauge`] events *now*, without flushing
+    /// counters or histograms. A long-lived daemon calls this per
+    /// request completion so the journal records a **time series** of
+    /// queue depth / hot-set size instead of a single final total;
+    /// [`finish`](Recorder::finish) at shutdown still writes the last
+    /// word. Events are buffered like any other emission — no fsync
+    /// per call.
+    pub fn flush_gauges(&self) {
+        let Some(inner) = &self.inner else { return };
+        let gauges: Vec<(String, u64)> = {
+            let metrics = inner.metrics.lock().expect("metrics lock");
+            metrics
+                .gauges
+                .iter()
+                .filter(|(name, _)| name.starts_with(&self.prefix))
+                .map(|(name, &value)| (name.clone(), value))
+                .collect()
+        };
+        for (name, value) in gauges {
+            inner.emit(EventKind::Gauge { name, value });
+        }
+    }
+
+    /// Emits a fully-formed histogram snapshot event (used by
+    /// [`Registry::flush_to`](crate::registry::Registry::flush_to) to
+    /// journal live-registry distributions alongside recorder metrics).
+    pub(crate) fn emit_histo(
+        &self,
+        name: &str,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: Option<Vec<u64>>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.emit(EventKind::Histo {
+            name: self.key(name),
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        });
     }
 
     /// The events recorded so far by a [`memory`](Recorder::memory)
@@ -292,7 +358,15 @@ impl Inner {
         match &mut sink.out {
             SinkOut::Memory(events) => events.push(event),
             SinkOut::File(f) => {
-                let _ = writeln!(f, "{}", mvm_json::to_string(&event));
+                // Tag every line with the schema version, leading key
+                // first, so a reader can dispatch before parsing the
+                // event body.
+                let mut obj = match event.to_json() {
+                    Json::Obj(fields) => fields,
+                    other => vec![("event".to_string(), other)],
+                };
+                obj.insert(0, ("v".to_string(), Json::U64(JOURNAL_VERSION)));
+                let _ = writeln!(f, "{}", Json::Obj(obj).to_string_compact());
             }
         }
     }
@@ -362,22 +436,59 @@ impl Drop for Span {
     }
 }
 
-/// Parses a JSONL journal file back into events (blank lines are
-/// skipped; any unparsable line is an error naming its line number).
-pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<Event>, String> {
+/// A parsed journal: the events this reader understood plus a report
+/// of the lines it skipped because a future writer stamped them with an
+/// unknown schema version.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    /// The version-1 events, in file order.
+    pub events: Vec<Event>,
+    /// `(line_number, version)` for every skipped unknown-version line
+    /// (line numbers are 1-based).
+    pub skipped: Vec<(usize, u64)>,
+}
+
+/// Parses a JSONL journal file, tolerating unknown schema versions.
+///
+/// Blank lines are skipped. A line whose `"v"` tag names a version this
+/// reader does not understand is recorded in
+/// [`Journal::skipped`] instead of failing the whole file — a journal
+/// is append-only and long-lived, and one foreign line must not make
+/// the rest unreadable. Lines with no `"v"` tag are treated as version
+/// 1 (journals written before the tag existed). A line that is not
+/// valid JSON at all, or that claims version 1 but does not parse as an
+/// [`Event`], is still a hard error naming its line number.
+pub fn read_journal_full(path: impl AsRef<Path>) -> Result<Journal, String> {
     let path = path.as_ref();
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    let mut events = Vec::new();
+    let mut journal = Journal::default();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let event: Event = mvm_json::from_str(line)
+        let value = mvm_json::parse(line)
             .map_err(|e| format!("{}:{}: {}", path.display(), i + 1, e.message))?;
-        events.push(event);
+        let version = value
+            .get("v")
+            .and_then(Json::as_u64)
+            .unwrap_or(JOURNAL_VERSION);
+        if version != JOURNAL_VERSION {
+            journal.skipped.push((i + 1, version));
+            continue;
+        }
+        let event = Event::from_json(&value)
+            .map_err(|e| format!("{}:{}: {}", path.display(), i + 1, e.message))?;
+        journal.events.push(event);
     }
-    Ok(events)
+    Ok(journal)
+}
+
+/// Parses a JSONL journal file back into events. Unknown-version lines
+/// are silently skipped; use [`read_journal_full`] to see the skip
+/// report.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<Event>, String> {
+    read_journal_full(path).map(|j| j.events)
 }
 
 #[cfg(test)]
@@ -471,6 +582,7 @@ mod tests {
                 sum,
                 min,
                 max,
+                ..
             } if name == "h" => Some((*count, *sum, *min, *max)),
             _ => None,
         });
@@ -496,6 +608,110 @@ mod tests {
             7
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_lines_carry_the_schema_tag() {
+        let dir = std::env::temp_dir().join(format!("res-obs-vtag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let rec = Recorder::journal(&path);
+        rec.counter("c", 1);
+        rec.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            assert!(
+                line.starts_with("{\"v\":1,"),
+                "every line leads with the version tag: {line}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_version_lines_are_skipped_and_reported() {
+        let dir = std::env::temp_dir().join(format!("res-obs-vskip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let rec = Recorder::journal(&path);
+        rec.counter("kept", 3);
+        rec.finish();
+        drop(rec);
+        // A future writer appends a line this reader cannot understand.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "{}", r#"{"v":2,"seq":99,"payload":"from the future"}"#).unwrap();
+        writeln!(
+            f,
+            "{}",
+            r#"{"v":1,"seq":9,"t_us":1,"kind":{"Gauge":{"name":"late","value":7}}}"#
+        )
+        .unwrap();
+        drop(f);
+        let journal = read_journal_full(&path).expect("tolerant read succeeds");
+        assert_eq!(journal.skipped.len(), 1);
+        assert_eq!(journal.skipped[0].1, 2, "reports the foreign version");
+        assert!(
+            journal
+                .events
+                .iter()
+                .any(|e| matches!(&e.kind, EventKind::Gauge { name, .. } if name == "late")),
+            "v1 lines after the foreign line still parse"
+        );
+        assert_eq!(
+            read_journal(&path).unwrap().len(),
+            journal.events.len(),
+            "read_journal delegates to the tolerant reader"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_gauges_writes_a_time_series() {
+        let rec = Recorder::memory();
+        let serve = rec.scoped("serve");
+        serve.gauge("queue.depth", 1);
+        serve.flush_gauges();
+        serve.gauge("queue.depth", 4);
+        serve.flush_gauges();
+        rec.gauge("other", 9);
+        serve.flush_gauges();
+        let depths: Vec<u64> = rec
+            .snapshot()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Gauge { name, value } if name == "serve.queue.depth" => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![1, 4, 4], "one sample per flush, in order");
+        assert!(
+            !rec.snapshot()
+                .iter()
+                .any(|e| matches!(&e.kind, EventKind::Gauge { name, .. } if name == "other")),
+            "a scoped flush only covers gauges under its prefix"
+        );
+    }
+
+    #[test]
+    fn observe_accumulates_buckets() {
+        let rec = Recorder::memory();
+        rec.observe("h", 0);
+        rec.observe("h", 1);
+        rec.observe("h", 1000);
+        rec.finish();
+        let buckets = rec.snapshot().iter().find_map(|e| match &e.kind {
+            EventKind::Histo { name, buckets, .. } if name == "h" => buckets.clone(),
+            _ => None,
+        });
+        let buckets = buckets.expect("finish emits bucketed histos");
+        assert_eq!(buckets.iter().sum::<u64>(), 3);
+        assert_eq!(buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[crate::registry::bucket_index(1000)], 1);
     }
 
     #[test]

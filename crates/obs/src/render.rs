@@ -35,18 +35,20 @@ pub fn gauge_values(events: &[Event]) -> BTreeMap<String, u64> {
 }
 
 #[derive(Debug, Clone)]
-struct SpanNode {
-    id: u64,
-    name: String,
-    start_us: u64,
-    dur_us: Option<u64>,
-    children: Vec<usize>,
+pub(crate) struct SpanNode {
+    pub(crate) id: u64,
+    pub(crate) name: String,
+    pub(crate) start_us: u64,
+    pub(crate) dur_us: Option<u64>,
+    pub(crate) children: Vec<usize>,
 }
 
-/// Renders the span hierarchy as an indented tree with durations, in
-/// start order. Spans with no recorded `End` (the run died or the
-/// journal was truncated) print as `open`.
-pub fn span_tree(events: &[Event]) -> String {
+/// The span forest of a journal: every span as a node (in start
+/// order), plus the indices of the roots. A span whose parent id was
+/// never opened in these events is treated as a root, so a filtered
+/// event slice still builds a forest. Shared with
+/// [`query`](crate::query), which walks subtrees instead of rendering.
+pub(crate) fn span_forest(events: &[Event]) -> (Vec<SpanNode>, Vec<usize>) {
     let mut nodes: Vec<SpanNode> = Vec::new();
     let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
     let mut roots: Vec<usize> = Vec::new();
@@ -75,6 +77,14 @@ pub fn span_tree(events: &[Event]) -> String {
             _ => {}
         }
     }
+    (nodes, roots)
+}
+
+/// Renders the span hierarchy as an indented tree with durations, in
+/// start order. Spans with no recorded `End` (the run died or the
+/// journal was truncated) print as `open`.
+pub fn span_tree(events: &[Event]) -> String {
+    let (nodes, roots) = span_forest(events);
     let mut out = String::new();
     for &root in &roots {
         render_span(&nodes, root, 0, &mut out);
@@ -107,7 +117,7 @@ fn render_span(nodes: &[SpanNode], idx: usize, depth: usize, out: &mut String) {
     }
 }
 
-fn fmt_us(us: u64) -> String {
+pub(crate) fn fmt_us(us: u64) -> String {
     if us >= 1_000_000 {
         format!("{}.{:03}s", us / 1_000_000, (us % 1_000_000) / 1_000)
     } else if us >= 1_000 {
@@ -158,7 +168,7 @@ pub fn render(events: &[Event]) -> String {
         }
     }
 
-    let mut histos: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
+    let mut histos: BTreeMap<String, (u64, u64, u64, u64, Option<Vec<u64>>)> = BTreeMap::new();
     for e in events {
         if let EventKind::Histo {
             name,
@@ -166,18 +176,26 @@ pub fn render(events: &[Event]) -> String {
             sum,
             min,
             max,
+            buckets,
         } = &e.kind
         {
-            histos.insert(name.clone(), (*count, *sum, *min, *max));
+            histos.insert(name.clone(), (*count, *sum, *min, *max, buckets.clone()));
         }
     }
     if !histos.is_empty() {
         out.push_str("histograms:\n");
-        for (name, (count, sum, min, max)) in histos {
+        for (name, (count, sum, min, max, buckets)) in histos {
             let mean = if count == 0 { 0 } else { sum / count };
             out.push_str(&format!(
-                "  {name:<40} n={count} mean={mean} min={min} max={max}\n"
+                "  {name:<40} n={count} mean={mean} min={min} max={max}"
             ));
+            // Quantiles are only honest when the distribution was
+            // recorded; pre-bucket journals fall back to the summary.
+            if let Some(buckets) = buckets.filter(|b| !b.is_empty()) {
+                let q = |pct| crate::registry::quantile_from_buckets(&buckets, pct, max);
+                out.push_str(&format!(" p50={} p95={} p99={}", q(50), q(95), q(99)));
+            }
+            out.push('\n');
         }
     }
 
@@ -268,6 +286,35 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }
+    }
+
+    #[test]
+    fn histogram_section_prints_quantiles_when_buckets_present() {
+        let rec = Recorder::memory();
+        for v in [10u64, 20, 30, 400, 5000] {
+            rec.observe("rtt_us", v);
+        }
+        rec.finish();
+        let report = render(&rec.snapshot());
+        assert!(report.contains("p50="), "{report}");
+        assert!(report.contains("p95="), "{report}");
+        assert!(report.contains("p99="), "{report}");
+        // A bucketless histogram event renders the summary only.
+        let legacy = vec![crate::Event {
+            seq: 0,
+            t_us: 0,
+            kind: EventKind::Histo {
+                name: "old".into(),
+                count: 1,
+                sum: 5,
+                min: 5,
+                max: 5,
+                buckets: None,
+            },
+        }];
+        let report = render(&legacy);
+        assert!(report.contains("old"), "{report}");
+        assert!(!report.contains("p50="), "{report}");
     }
 
     #[test]

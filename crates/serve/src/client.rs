@@ -5,7 +5,10 @@ use std::io::{self, BufReader};
 use res_core::HwVerdict;
 use res_triage::{TriageRequest, TriageResponse};
 
-use crate::wire::{read_response, write_request, Conn, ServerStats, WireRequest, WireResponse};
+use crate::wire::{
+    read_response, write_request, Conn, ServerStats, StatsRequest, StatsResponse, WireRequest,
+    WireResponse,
+};
 
 fn unexpected(resp: WireResponse) -> io::Error {
     io::Error::new(
@@ -94,6 +97,16 @@ impl TriageClient {
     pub fn stats(&mut self) -> io::Result<ServerStats> {
         match self.call(&WireRequest::Stats)? {
             WireResponse::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The full telemetry snapshot: counters, latency histograms, and
+    /// the flight recorder, shaped by `q`. Answered inline by the
+    /// daemon (no queue slot), so it works even under backpressure.
+    pub fn stats_query(&mut self, q: &StatsRequest) -> io::Result<StatsResponse> {
+        match self.call(&WireRequest::StatsQuery(*q))? {
+            WireResponse::StatsReport(s) => Ok(s),
             other => Err(unexpected(other)),
         }
     }

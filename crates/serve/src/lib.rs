@@ -30,12 +30,23 @@
 //!   counters, admission rejections all land in the daemon's `res-obs`
 //!   journal under `serve.*`.
 
+//! * **Live telemetry** ([`telemetry`]). Every request gets a
+//!   deterministic id (`c<conn>.<seq>`) echoed in its answer and a
+//!   `serve.req` span tree in the journal; wait-free latency
+//!   histograms and a flight recorder of recent requests are served by
+//!   the typed [`WireRequest::StatsQuery`] endpoint — answered inline,
+//!   so it works even while the queue is rejecting work.
+
 pub mod client;
 pub mod hotstore;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use client::TriageClient;
 pub use hotstore::HotStore;
 pub use server::{serve, ServeConfig, ServerHandle};
-pub use wire::{ServerStats, WireRequest, WireResponse, REQUEST_TAG, RESPONSE_TAG};
+pub use telemetry::{Phases, RequestSummary, Telemetry};
+pub use wire::{
+    ServerStats, StatsRequest, StatsResponse, WireRequest, WireResponse, REQUEST_TAG, RESPONSE_TAG,
+};

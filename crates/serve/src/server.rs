@@ -39,8 +39,10 @@ use res_store::CompactionPolicy;
 use res_triage::{hw_verdict_for, hw_verdict_for_in_store, triage, triage_in_store, TriageRequest};
 
 use crate::hotstore::HotStore;
+use crate::telemetry::{Phases, RequestSummary, Telemetry};
 use crate::wire::{
-    read_request, write_response, Conn, Listener, ServerStats, WireRequest, WireResponse,
+    read_request, write_response, Conn, Listener, ServerStats, StatsRequest, StatsResponse,
+    WireRequest, WireResponse,
 };
 
 /// Everything the daemon is configured with.
@@ -74,6 +76,13 @@ pub struct ServeConfig {
     /// The daemon's JSONL trace journal (`serve.*` and `store.*`
     /// metrics land here).
     pub trace: Option<PathBuf>,
+    /// Requests slower than this (µs, wall time from frame read to
+    /// reply flushed) journal a `serve.slow` mark naming their span
+    /// tree. `None` disables slow-request marking.
+    pub slow_us: Option<u64>,
+    /// Flight-recorder capacity: how many recent request summaries the
+    /// stats endpoint can serve. `0` disables the ring.
+    pub recent_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +97,8 @@ impl Default for ServeConfig {
             ceiling: None,
             config: ResConfig::default(),
             trace: None,
+            slow_us: None,
+            recent_cap: 64,
         }
     }
 }
@@ -111,6 +122,7 @@ struct Shared {
     rec: Recorder,
     serve_rec: Recorder,
     counters: Counters,
+    telem: Telemetry,
     shutdown: AtomicBool,
 }
 
@@ -134,8 +146,11 @@ impl Shared {
     }
 
     /// Flushes the counters as `serve.*` gauges (queue depth, hot-set
-    /// size, admissions, rejections) so the journal carries them even
-    /// if no event fired recently.
+    /// size, admissions, rejections) and journals a sample of each —
+    /// called per request completion, so the journal carries a **time
+    /// series** of queue depth and hot-set size, not just a final
+    /// total (the shutdown [`Recorder::finish`] still writes the last
+    /// word).
     fn publish_gauges(&self) {
         let s = self.stats();
         self.serve_rec.gauge("queue.depth", s.queue_depth);
@@ -144,13 +159,43 @@ impl Shared {
         self.serve_rec.gauge("rejected.queue", s.rejected_queue);
         self.serve_rec.gauge("rejected.budget", s.rejected_budget);
         self.serve_rec.gauge("completed", s.completed);
+        self.serve_rec.flush_gauges();
+    }
+
+    /// The full telemetry snapshot behind [`WireRequest::StatsQuery`].
+    /// Reads only atomics, the registry's bucket counters, and the
+    /// flight ring — no solver work, never blocks a worker.
+    fn stats_response(&self, q: &StatsRequest) -> StatsResponse {
+        StatsResponse {
+            server: self.stats(),
+            uptime_us: self.telem.started.elapsed().as_micros() as u64,
+            requests: self.telem.requests.load(Ordering::SeqCst),
+            connections: self.telem.conn_seq.load(Ordering::SeqCst),
+            slow_threshold_us: self.telem.slow_us.unwrap_or(0),
+            histograms: if q.histograms {
+                self.telem.registry.snapshot()
+            } else {
+                Vec::new()
+            },
+            recent: if q.recent {
+                self.telem.recent()
+            } else {
+                Vec::new()
+            },
+        }
     }
 }
 
-/// One queued job: the work plus the channel its answer goes back on.
+/// One queued job: the work, the channel its answer (plus worker-side
+/// phase timings) goes back on, and the request's telemetry context —
+/// the root span id so worker spans parent under the connection
+/// thread's `serve.req`, and the enqueue instant for queue-wait
+/// accounting.
 struct Job {
     req: WireRequest,
-    reply: mpsc::Sender<WireResponse>,
+    reply: mpsc::Sender<(WireResponse, Phases)>,
+    parent: Option<u64>,
+    enqueued: Instant,
 }
 
 /// A running daemon. Dropping the handle stops it ([`ServerHandle::stop`]).
@@ -218,6 +263,9 @@ impl ServerHandle {
             });
         }
         self.shared.publish_gauges();
+        // Journal the live latency distributions so `res-cli journal
+        // --quantiles` works post-mortem from the file alone.
+        self.shared.telem.registry.flush_to(&self.shared.rec);
         self.shared.rec.finish();
     }
 }
@@ -256,6 +304,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         rec,
         serve_rec,
         counters: Counters::default(),
+        telem: Telemetry::new(cfg.slow_us, cfg.recent_cap),
         shutdown: AtomicBool::new(false),
     });
     let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_cap.max(1));
@@ -316,47 +365,156 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>, tx: SyncSender<Job>) {
     }
 }
 
+/// The wire endpoint name of a request (the flight recorder's and the
+/// RTT histograms' label vocabulary).
+fn endpoint_name(req: &WireRequest) -> &'static str {
+    match req {
+        WireRequest::Triage(_) => "triage",
+        WireRequest::BucketBatch(_) => "bucket_batch",
+        WireRequest::HwFilterBatch(_) => "hw_filter_batch",
+        WireRequest::Stats | WireRequest::StatsQuery(_) => "stats",
+        WireRequest::Shutdown => "shutdown",
+    }
+}
+
+/// The flight-recorder outcome label of a response.
+fn outcome_name(resp: &WireResponse) -> &'static str {
+    match resp {
+        WireResponse::Rejected { reason, .. } if reason == "queue full" => "rejected_queue",
+        WireResponse::Rejected { .. } => "rejected_budget",
+        WireResponse::ShuttingDown => "shutdown",
+        WireResponse::Error(_) => "error",
+        _ => "ok",
+    }
+}
+
 fn handle_conn(conn: Conn, shared: &Shared, tx: &SyncSender<Job>) -> io::Result<()> {
     let mut reader = BufReader::new(conn.try_clone()?);
     let mut writer = conn;
+    // Connection numbers start at 1; request sequence numbers at 0.
+    // One client issuing requests in order therefore sees the exact
+    // same ids at any worker count — the determinism the request-id
+    // tests pin.
+    let conn_id = shared.telem.conn_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let mut seq: u64 = 0;
     while let Some(req) = read_request(&mut reader)? {
-        let resp = match req {
-            WireRequest::Stats => WireResponse::Stats(shared.stats()),
+        let req_id = format!("c{conn_id}.{seq}");
+        seq += 1;
+        shared.telem.requests.fetch_add(1, Ordering::SeqCst);
+        let endpoint = endpoint_name(&req);
+        let started = Instant::now();
+        // Root the request's span tree and journal the correlation
+        // mark (`req` ↔ `span` ↔ `endpoint`) that `res-obs::query`
+        // reconstructs requests from.
+        let span = shared.serve_rec.span("req");
+        shared.serve_rec.event_with("req.meta", || {
+            vec![
+                ("req".into(), req_id.clone()),
+                (
+                    "span".into(),
+                    span.id().map(|id| id.to_string()).unwrap_or_default(),
+                ),
+                ("endpoint".into(), endpoint.into()),
+            ]
+        });
+        let (mut resp, phases) = match req {
+            // Stats reads are answered inline — no queue slot, no
+            // solver work — so they succeed even under backpressure.
+            WireRequest::Stats => (WireResponse::Stats(shared.stats()), Phases::default()),
+            WireRequest::StatsQuery(q) => (
+                WireResponse::StatsReport(shared.stats_response(&q)),
+                Phases::default(),
+            ),
             WireRequest::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
                 shared.serve_rec.event_with("shutdown", || vec![]);
                 // Wake the accept loop so it notices the flag.
                 let _ = Conn::connect(&shared.addr);
-                WireResponse::ShuttingDown
+                (WireResponse::ShuttingDown, Phases::default())
             }
-            work => dispatch(work, shared, tx),
+            work => dispatch(work, shared, tx, span.id()),
         };
-        write_response(&mut writer, &resp)?;
-        writer.flush()?;
+        // Echo the request id in the wire answer. Only the verdict-
+        // carrying payload has a field for it; the identity currency
+        // (`verdict|deadlock|bucket_key|suffixes`) excludes it.
+        if let WireResponse::Triage(t) = &mut resp {
+            t.req_id = Some(req_id.clone());
+        }
+        {
+            let _reply = span.child("req.reply");
+            write_response(&mut writer, &resp)?;
+            writer.flush()?;
+        }
+        let span_id = span.id();
+        span.end();
+        let total_us = started.elapsed().as_micros() as u64;
+        shared.telem.rtt_for(endpoint).record(total_us);
+        let summary = RequestSummary {
+            req_id,
+            endpoint: endpoint.into(),
+            outcome: outcome_name(&resp).into(),
+            total_us,
+            queue_wait_us: phases.queue_wait_us,
+            synth_us: phases.synth_us,
+            store_us: phases.store_us,
+        };
+        if shared.telem.slow_us.is_some_and(|slow| total_us >= slow) {
+            shared.serve_rec.event_with("slow", || {
+                vec![
+                    ("req".into(), summary.req_id.clone()),
+                    (
+                        "span".into(),
+                        span_id.map(|id| id.to_string()).unwrap_or_default(),
+                    ),
+                    ("endpoint".into(), summary.endpoint.clone()),
+                    ("total_us".into(), total_us.to_string()),
+                    ("queue_wait_us".into(), summary.queue_wait_us.to_string()),
+                    ("synth_us".into(), summary.synth_us.to_string()),
+                    ("store_us".into(), summary.store_us.to_string()),
+                ]
+            });
+        }
+        shared.telem.push_recent(summary);
     }
     Ok(())
 }
 
-/// Admission + enqueue + wait for the worker's answer.
-fn dispatch(req: WireRequest, shared: &Shared, tx: &SyncSender<Job>) -> WireResponse {
+/// Admission + enqueue + wait for the worker's answer. `parent` is the
+/// request's root span id; the admission span and the worker's phase
+/// spans all parent under it, so the journal carries one reconcilable
+/// tree per request.
+fn dispatch(
+    req: WireRequest,
+    shared: &Shared,
+    tx: &SyncSender<Job>,
+    parent: Option<u64>,
+) -> (WireResponse, Phases) {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return WireResponse::ShuttingDown;
+        return (WireResponse::ShuttingDown, Phases::default());
     }
-    if let Err(reason) = admit(&req, shared) {
+    let admission = shared.serve_rec.span_under("req.admission", parent);
+    let admitted = admit(&req, shared);
+    drop(admission);
+    if let Err(reason) = admitted {
         shared
             .counters
             .rejected_budget
             .fetch_add(1, Ordering::SeqCst);
         shared.serve_rec.counter("rejected.budget", 1);
-        return WireResponse::Rejected {
-            reason,
-            queue_depth: shared.counters.depth.load(Ordering::SeqCst),
-        };
+        return (
+            WireResponse::Rejected {
+                reason,
+                queue_depth: shared.counters.depth.load(Ordering::SeqCst),
+            },
+            Phases::default(),
+        );
     }
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         req,
         reply: reply_tx,
+        parent,
+        enqueued: Instant::now(),
     };
     // Count the job before handing it over: a worker may dequeue (and
     // decrement) the instant try_send returns.
@@ -374,19 +532,25 @@ fn dispatch(req: WireRequest, shared: &Shared, tx: &SyncSender<Job>) -> WireResp
                 .rejected_queue
                 .fetch_add(1, Ordering::SeqCst);
             shared.serve_rec.counter("rejected.queue", 1);
-            return WireResponse::Rejected {
-                reason: "queue full".into(),
-                queue_depth: depth,
-            };
+            return (
+                WireResponse::Rejected {
+                    reason: "queue full".into(),
+                    queue_depth: depth,
+                },
+                Phases::default(),
+            );
         }
         Err(TrySendError::Disconnected(_)) => {
             shared.counters.depth.fetch_sub(1, Ordering::SeqCst);
-            return WireResponse::ShuttingDown;
+            return (WireResponse::ShuttingDown, Phases::default());
         }
     }
-    reply_rx
-        .recv()
-        .unwrap_or_else(|_| WireResponse::Error("server shut down before completing".into()))
+    reply_rx.recv().unwrap_or_else(|_| {
+        (
+            WireResponse::Error("server shut down before completing".into()),
+            Phases::default(),
+        )
+    })
 }
 
 /// Checks a work request against the daemon's budget ceiling. Batches
@@ -399,7 +563,7 @@ fn admit(req: &WireRequest, shared: &Shared) -> Result<(), String> {
     let items: Vec<&TriageRequest> = match req {
         WireRequest::Triage(r) => vec![r],
         WireRequest::BucketBatch(rs) | WireRequest::HwFilterBatch(rs) => rs.iter().collect(),
-        WireRequest::Stats | WireRequest::Shutdown => return Ok(()),
+        WireRequest::Stats | WireRequest::StatsQuery(_) | WireRequest::Shutdown => return Ok(()),
     };
     let cap = ceiling.slice(items.len().max(1));
     for (i, r) in items.iter().enumerate() {
@@ -463,8 +627,17 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Job>>>) {
         let Ok(job) = job else { break };
         let depth = shared.counters.depth.fetch_sub(1, Ordering::SeqCst) - 1;
         shared.serve_rec.gauge("queue.depth", depth);
+        let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+        shared.telem.queue_wait.record(queue_wait_us);
+        // The worker's phases parent under the connection thread's
+        // `serve.req` root via the id carried in the job — a span
+        // hierarchy that crosses threads.
+        let work = shared.serve_rec.span_under("req.work", job.parent);
         let started = Instant::now();
-        let resp = process(job.req, shared);
+        let (resp, mut phases) = process(job.req, shared, work.id());
+        drop(work);
+        phases.queue_wait_us = queue_wait_us;
+        shared.telem.synth.record(phases.synth_us);
         shared
             .serve_rec
             .observe("latency_us", started.elapsed().as_micros() as u64);
@@ -472,46 +645,96 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Job>>>) {
         shared.serve_rec.counter("completed", 1);
         shared.publish_gauges();
         // The conn thread may have given up (client gone) — fine.
-        let _ = job.reply.send(resp);
+        let _ = job.reply.send((resp, phases));
     }
 }
 
 /// Runs one admitted job. Every store access goes through the hot
 /// store; with no store dir configured the plain library entry points
-/// run (same results, cold each time).
-fn process(req: WireRequest, shared: &Shared) -> WireResponse {
-    match req {
-        WireRequest::Triage(r) => WireResponse::Triage(run_triage(&r, shared)),
-        WireRequest::BucketBatch(rs) => WireResponse::BucketBatch(
-            rs.iter()
-                .map(|r| run_triage(r, shared).bucket_key)
-                .collect(),
-        ),
-        WireRequest::HwFilterBatch(rs) => WireResponse::HwFilterBatch(
-            rs.iter()
-                .map(|r| match &shared.hot {
-                    Some(hot) => {
-                        let store = hot.checkout(&r.program);
-                        let mut store = store.lock().expect("store lock");
-                        hw_verdict_for_in_store(r, &shared.config, &mut store)
-                    }
-                    None => hw_verdict_for(r, &shared.config),
-                })
-                .collect(),
-        ),
-        WireRequest::Stats | WireRequest::Shutdown => {
+/// run (same results, cold each time). `parent` is the worker's
+/// `serve.req.work` span; store/synth phases open under it and their
+/// durations accumulate in the returned [`Phases`].
+fn process(req: WireRequest, shared: &Shared, parent: Option<u64>) -> (WireResponse, Phases) {
+    let mut phases = Phases::default();
+    let resp = match req {
+        WireRequest::Triage(r) => WireResponse::Triage(run_triage(&r, shared, parent, &mut phases)),
+        WireRequest::BucketBatch(rs) => {
+            shared.telem.batch_fanout.record(rs.len() as u64);
+            WireResponse::BucketBatch(
+                rs.iter()
+                    .map(|r| run_triage(r, shared, parent, &mut phases).bucket_key)
+                    .collect(),
+            )
+        }
+        WireRequest::HwFilterBatch(rs) => {
+            shared.telem.batch_fanout.record(rs.len() as u64);
+            WireResponse::HwFilterBatch(
+                rs.iter()
+                    .map(|r| match &shared.hot {
+                        Some(hot) => {
+                            let store = {
+                                let t = Instant::now();
+                                let _span = shared.serve_rec.span_under("req.store", parent);
+                                let store = hot.checkout(&r.program);
+                                phases.store_us += t.elapsed().as_micros() as u64;
+                                store
+                            };
+                            let mut store = store.lock().expect("store lock");
+                            let t = Instant::now();
+                            let _span = shared.serve_rec.span_under("req.synth", parent);
+                            let v = hw_verdict_for_in_store(r, &shared.config, &mut store);
+                            phases.synth_us += t.elapsed().as_micros() as u64;
+                            v
+                        }
+                        None => {
+                            let t = Instant::now();
+                            let _span = shared.serve_rec.span_under("req.synth", parent);
+                            let v = hw_verdict_for(r, &shared.config);
+                            phases.synth_us += t.elapsed().as_micros() as u64;
+                            v
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        WireRequest::Stats | WireRequest::StatsQuery(_) | WireRequest::Shutdown => {
             WireResponse::Error("not a queued request".into())
         }
-    }
+    };
+    (resp, phases)
 }
 
-fn run_triage(r: &TriageRequest, shared: &Shared) -> res_triage::TriageResponse {
+fn run_triage(
+    r: &TriageRequest,
+    shared: &Shared,
+    parent: Option<u64>,
+    phases: &mut Phases,
+) -> res_triage::TriageResponse {
     match &shared.hot {
         Some(hot) => {
-            let store = hot.checkout(&r.program);
+            // The checkout is where hot-store commits happen (evicting
+            // the LRU store commits it), so the `req.store` span covers
+            // commit latency too.
+            let store = {
+                let t = Instant::now();
+                let _span = shared.serve_rec.span_under("req.store", parent);
+                let store = hot.checkout(&r.program);
+                phases.store_us += t.elapsed().as_micros() as u64;
+                store
+            };
             let mut store = store.lock().expect("store lock");
-            triage_in_store(r, &shared.config, &mut store)
+            let t = Instant::now();
+            let _span = shared.serve_rec.span_under("req.synth", parent);
+            let resp = triage_in_store(r, &shared.config, &mut store);
+            phases.synth_us += t.elapsed().as_micros() as u64;
+            resp
         }
-        None => triage(r, &shared.config),
+        None => {
+            let t = Instant::now();
+            let _span = shared.serve_rec.span_under("req.synth", parent);
+            let resp = triage(r, &shared.config);
+            phases.synth_us += t.elapsed().as_micros() as u64;
+            resp
+        }
     }
 }

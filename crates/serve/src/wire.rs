@@ -28,8 +28,11 @@ use std::path::PathBuf;
 
 use mvm_json::{json_enum, json_struct};
 use res_core::HwVerdict;
+use res_obs::HistoSnapshot;
 use res_store::{decode_record, encode_record, Tag};
 use res_triage::{TriageRequest, TriageResponse};
+
+use crate::telemetry::RequestSummary;
 
 /// The framing tag of every request line.
 pub const REQUEST_TAG: Tag = Tag::Unknown(b'Q');
@@ -49,6 +52,12 @@ pub enum WireRequest {
     HwFilterBatch(Vec<TriageRequest>),
     /// Read the daemon's counters without queueing work.
     Stats,
+    /// The full telemetry snapshot: counters plus latency histograms
+    /// and the flight recorder, shaped by [`StatsRequest`]. Answered
+    /// inline by the connection thread — no solver work, no queue slot
+    /// — so it succeeds even when the daemon is rejecting work under
+    /// backpressure.
+    StatsQuery(StatsRequest),
     /// Stop accepting connections and begin draining.
     Shutdown,
 }
@@ -58,6 +67,7 @@ json_enum!(WireRequest {
     BucketBatch(Vec<TriageRequest>),
     HwFilterBatch(Vec<TriageRequest>),
     Stats,
+    StatsQuery(StatsRequest),
     Shutdown
 });
 
@@ -72,6 +82,8 @@ pub enum WireResponse {
     HwFilterBatch(Vec<HwVerdict>),
     /// The daemon's counters.
     Stats(ServerStats),
+    /// The full telemetry snapshot ([`WireRequest::StatsQuery`]).
+    StatsReport(StatsResponse),
     /// Admission control refused the request; nothing was queued. The
     /// well-formed backpressure signal — clients retry or shed load.
     Rejected {
@@ -93,10 +105,90 @@ json_enum!(WireResponse {
     BucketBatch(Vec<String>),
     HwFilterBatch(Vec<HwVerdict>),
     Stats(ServerStats),
+    StatsReport(StatsResponse),
     Rejected { reason: String, queue_depth: u64 },
     ShuttingDown,
     Error(String)
 });
+
+/// What a [`WireRequest::StatsQuery`] should include. Both flags off
+/// still returns the counters and request/connection totals — the
+/// cheapest liveness probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsRequest {
+    /// Include the latency histogram snapshots (quantiles + buckets).
+    pub histograms: bool,
+    /// Include the flight recorder's recent-request ring.
+    pub recent: bool,
+}
+
+json_struct!(StatsRequest { histograms, recent });
+
+impl Default for StatsRequest {
+    fn default() -> Self {
+        StatsRequest {
+            histograms: true,
+            recent: true,
+        }
+    }
+}
+
+/// The full telemetry snapshot a daemon serves. Timing fields carry
+/// wall-clock-derived values and belong to telemetry only; everything
+/// a fixed request sequence determines survives
+/// [`normalized`](StatsResponse::normalized), which is what the
+/// determinism tests compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsResponse {
+    /// The counters (same payload as [`WireRequest::Stats`]).
+    pub server: ServerStats,
+    /// Microseconds since the daemon booted.
+    pub uptime_us: u64,
+    /// Requests read off the wire, all endpoints.
+    pub requests: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// The `serve.slow` journaling threshold, µs (0 when disabled).
+    pub slow_threshold_us: u64,
+    /// Latency/fan-out histogram snapshots, sorted by name (empty when
+    /// not requested).
+    pub histograms: Vec<HistoSnapshot>,
+    /// The flight recorder ring, oldest first (empty when not
+    /// requested).
+    pub recent: Vec<RequestSummary>,
+}
+
+json_struct!(StatsResponse {
+    server,
+    uptime_us,
+    requests,
+    connections,
+    slow_threshold_us,
+    histograms,
+    recent
+});
+
+impl StatsResponse {
+    /// This snapshot with every wall-clock-derived field zeroed:
+    /// uptime, queue depth (scheduling-dependent), histogram timing
+    /// fields and bucket shapes, and per-request durations. What
+    /// remains — request counts, ids, endpoints, outcomes, histogram
+    /// names and observation counts — is deterministic for a fixed
+    /// request sequence, regardless of worker count or machine speed.
+    pub fn normalized(&self) -> StatsResponse {
+        let mut server = self.server;
+        server.queue_depth = 0;
+        StatsResponse {
+            server,
+            uptime_us: 0,
+            requests: self.requests,
+            connections: self.connections,
+            slow_threshold_us: self.slow_threshold_us,
+            histograms: self.histograms.iter().map(|h| h.normalized()).collect(),
+            recent: self.recent.iter().map(|r| r.normalized()).collect(),
+        }
+    }
+}
 
 /// The daemon's observable state, as served by [`WireRequest::Stats`].
 /// Mirrors the `serve.*` gauges/counters in the trace journal.
@@ -378,6 +470,96 @@ mod tests {
         write_response(&mut buf, &resp).unwrap();
         let back = read_response(&mut BufReader::new(&buf[..])).unwrap();
         assert_eq!(back, Some(resp));
+    }
+
+    #[test]
+    fn stats_query_and_report_round_trip() {
+        let req = WireRequest::StatsQuery(StatsRequest::default());
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        assert_eq!(
+            read_request(&mut BufReader::new(&buf[..])).unwrap(),
+            Some(req)
+        );
+
+        let resp = WireResponse::StatsReport(StatsResponse {
+            server: ServerStats {
+                completed: 3,
+                ..ServerStats::default()
+            },
+            uptime_us: 99,
+            requests: 7,
+            connections: 2,
+            slow_threshold_us: 50_000,
+            histograms: vec![HistoSnapshot {
+                name: "serve.rtt.triage_us".into(),
+                count: 3,
+                sum: 30,
+                min: 5,
+                max: 20,
+                p50: 7,
+                p95: 20,
+                p99: 20,
+                buckets: vec![0, 0, 0, 1, 1, 1],
+            }],
+            recent: vec![RequestSummary {
+                req_id: "c1.0".into(),
+                endpoint: "triage".into(),
+                outcome: "ok".into(),
+                total_us: 10,
+                queue_wait_us: 1,
+                synth_us: 8,
+                store_us: 1,
+            }],
+        });
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let back = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, Some(resp));
+    }
+
+    #[test]
+    fn normalized_zeroes_only_timing_fields() {
+        let resp = StatsResponse {
+            server: ServerStats {
+                queue_depth: 3,
+                admitted: 5,
+                ..ServerStats::default()
+            },
+            uptime_us: 12345,
+            requests: 6,
+            connections: 2,
+            slow_threshold_us: 1000,
+            histograms: vec![HistoSnapshot {
+                name: "h".into(),
+                count: 4,
+                sum: 99,
+                min: 1,
+                max: 50,
+                p50: 3,
+                p95: 50,
+                p99: 50,
+                buckets: vec![1, 1, 2],
+            }],
+            recent: vec![RequestSummary {
+                req_id: "c1.0".into(),
+                endpoint: "triage".into(),
+                outcome: "ok".into(),
+                total_us: 77,
+                queue_wait_us: 7,
+                synth_us: 60,
+                store_us: 10,
+            }],
+        };
+        let n = resp.normalized();
+        assert_eq!(n.server.queue_depth, 0, "scheduling-dependent");
+        assert_eq!(n.server.admitted, 5, "deterministic counters survive");
+        assert_eq!(n.uptime_us, 0);
+        assert_eq!((n.requests, n.connections), (6, 2));
+        assert_eq!(n.histograms[0].count, 4);
+        assert_eq!(n.histograms[0].sum, 0);
+        assert_eq!(n.recent[0].req_id, "c1.0");
+        assert_eq!(n.recent[0].total_us, 0);
     }
 
     #[test]

@@ -255,6 +255,12 @@ pub struct TriageResponse {
     /// [`TriageRequest::return_trace`]. Write it to a `.restrace` file
     /// and it replays with `res-cli replay`/`verify`.
     pub trace: Option<String>,
+    /// The daemon's request id (`c<conn>.<seq>`), stamped by
+    /// `res-serve` so an answer can be correlated with its `serve.req`
+    /// span tree in the daemon journal. `None` for direct library
+    /// calls. Never part of the verdict: the byte-identity currency
+    /// (`verdict|deadlock|bucket_key|suffixes`) excludes it.
+    pub req_id: Option<String>,
 }
 
 json_struct!(TriageResponse {
@@ -265,7 +271,8 @@ json_struct!(TriageResponse {
     stats,
     parallel,
     store,
-    trace
+    trace,
+    req_id
 });
 
 fn response_from(
@@ -304,6 +311,7 @@ fn response_from(
         parallel: result.parallel,
         store: result.store,
         trace,
+        req_id: None,
     }
 }
 
@@ -326,6 +334,7 @@ fn deadlock_response(key: String) -> TriageResponse {
         parallel: None,
         store: None,
         trace: None,
+        req_id: None,
     }
 }
 

@@ -82,10 +82,36 @@ serve_addr="$(sed -n 's/^addr: //p' "$serve_dir/addr.txt")"
 test -n "$serve_addr" || { echo "daemon never printed its address"; exit 1; }
 cargo run --release -q --bin res-cli -- submit "$serve_dir/dump" --addr "$serve_addr" \
     | grep -q "REPRODUCED" || { echo "submitted dump did not reproduce"; exit 1; }
+# The live telemetry endpoint: the stats round trip must report the
+# requests served so far and a populated triage latency histogram, and
+# the per-endpoint quantile extract is a CI artifact.
+stats_out="$(cargo run --release -q --bin res-cli -- stats --addr "$serve_addr")"
+echo "$stats_out" | grep -Eq 'serve\.requests +[1-9]' \
+    || { echo "stats endpoint reports no served requests"; exit 1; }
+echo "$stats_out" | grep -Eq 'serve\.rtt\.triage_us +n=[1-9]' \
+    || { echo "stats endpoint carries no triage latency samples"; exit 1; }
+cargo run --release -q --bin res-cli -- stats --addr "$serve_addr" --latency-json \
+    > "$repo_root/BENCH_serve_latency.json"
+test -s "$repo_root/BENCH_serve_latency.json" \
+    || { echo "latency artifact was never written"; exit 1; }
+if grep -q '"triage":{"count":0,' "$repo_root/BENCH_serve_latency.json"; then
+    echo "latency artifact has an empty triage histogram"; exit 1
+fi
+grep -q '"triage":{"count":' "$repo_root/BENCH_serve_latency.json" \
+    || { echo "latency artifact missing the triage endpoint"; exit 1; }
 cargo run --release -q --bin res-cli -- shutdown --addr "$serve_addr" > /dev/null
 wait "$serve_pid"
 grep -q "serve.completed" "$serve_dir/serve.jsonl" \
     || { echo "daemon journal missing serve gauges"; exit 1; }
+# The journal reconciliation gate: every request in the daemon's
+# journal must reconstruct as a fully-closed span tree rooted at its
+# `serve.req` span (`res-cli journal --requests` exits non-zero on any
+# broken request).
+echo "    journal reconciles per-request span trees"
+journal_out="$(cargo run --release -q --bin res-cli -- journal "$serve_dir/serve.jsonl" --requests)" \
+    || { echo "journal requests did not reconcile"; exit 1; }
+echo "$journal_out" | grep -Eq 'c[0-9]+\.[0-9]+ +triage +[0-9]+ +ok' \
+    || { echo "journal carries no reconciled triage request"; exit 1; }
 # Layer 2: the SRV throughput extract. Boots the daemon in-process,
 # shards a >=50-dump generated corpus across concurrent client
 # connections twice (cold, then warm hot store), and exits non-zero

@@ -19,12 +19,20 @@
 //! res-cli verdict <dir>       hardware-vs-software verdict for the dump
 //! res-cli trace <journal>     pretty-print a res-obs JSONL trace journal
 //! res-cli serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N]
-//!               [--store DIR] [--trace PATH]
+//!               [--store DIR] [--trace PATH] [--slow-us N]
 //!                             run the triage daemon in the foreground
 //! res-cli submit <dir> [--addr A] [--max-nodes N] [--deadline-ms N] [--workers N]
 //!               [--emit-trace FILE]
 //!                             send the dir's program+dump to a running daemon
 //! res-cli shutdown [--addr A] ask a running daemon to exit
+//! res-cli stats [--addr A] [--json] [--latency-json]
+//!                             one-shot telemetry snapshot from a daemon
+//! res-cli top [--addr A] [--interval-ms N] [--count N]
+//!                             polling live view of a daemon's telemetry
+//! res-cli journal <file> [--span PREFIX] [--counters GLOB] [--req ID]
+//!                [--requests] [--quantiles]
+//!                             query a JSONL journal: span subtrees, counter
+//!                             globs, per-request trees, percentile summaries
 //! ```
 //!
 //! Programs and coredumps are exchanged as JSON, so dumps can be
@@ -46,8 +54,9 @@
 
 use std::path::Path;
 
+use res_debugger::obs::{query, read_journal_full, Event, EventKind};
 use res_debugger::prelude::*;
-use res_debugger::serve::{serve, ServeConfig, TriageClient};
+use res_debugger::serve::{serve, ServeConfig, StatsRequest, StatsResponse, TriageClient};
 use res_debugger::triage::{bucket_key_for, TriageRequest};
 use res_debugger::workloads::{build_fixed, run_to_failure};
 
@@ -383,6 +392,9 @@ fn cmd_serve(flags: &[(String, String)]) -> Result<(), String> {
     if let Some(t) = flag(flags, "trace") {
         cfg.trace = Some(t.into());
     }
+    if let Some(s) = parsed(flags, "slow-us")? {
+        cfg.slow_us = Some(s);
+    }
     let mut handle = serve(cfg).map_err(|e| format!("starting daemon: {e}"))?;
     println!("addr: {}", handle.addr());
     handle.wait();
@@ -447,6 +459,242 @@ fn cmd_shutdown(flags: &[(String, String)]) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders a `StatsResponse` through `obs::render` by synthesizing a
+/// small event stream from it: gauges for the counters, bucketed
+/// histogram events for the latency distributions, one mark per
+/// flight-recorder entry. One renderer for journals, `stats`, and
+/// `top`.
+fn stats_events(resp: &StatsResponse) -> Vec<Event> {
+    let mut kinds: Vec<EventKind> = Vec::new();
+    let s = &resp.server;
+    for (name, value) in [
+        ("serve.queue.depth", s.queue_depth),
+        ("serve.queue.cap", s.queue_cap),
+        ("serve.workers", s.workers),
+        ("serve.hot.programs", s.hot_programs),
+        ("serve.hot.hits", s.hot_hits),
+        ("serve.hot.misses", s.hot_misses),
+        ("serve.hot.evictions", s.hot_evictions),
+        ("serve.admitted", s.admitted),
+        ("serve.rejected.queue", s.rejected_queue),
+        ("serve.rejected.budget", s.rejected_budget),
+        ("serve.completed", s.completed),
+        ("serve.requests", resp.requests),
+        ("serve.connections", resp.connections),
+    ] {
+        kinds.push(EventKind::Gauge {
+            name: name.into(),
+            value,
+        });
+    }
+    for h in &resp.histograms {
+        kinds.push(EventKind::Histo {
+            name: h.name.clone(),
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            buckets: Some(h.buckets.clone()),
+        });
+    }
+    for r in &resp.recent {
+        kinds.push(EventKind::Mark {
+            name: format!("recent.{}", r.req_id),
+            fields: vec![
+                ("endpoint".into(), r.endpoint.clone()),
+                ("outcome".into(), r.outcome.clone()),
+                ("total_us".into(), r.total_us.to_string()),
+                ("queue_wait_us".into(), r.queue_wait_us.to_string()),
+                ("synth_us".into(), r.synth_us.to_string()),
+                ("store_us".into(), r.store_us.to_string()),
+            ],
+        });
+    }
+    kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| Event {
+            seq: i as u64,
+            t_us: 0,
+            kind,
+        })
+        .collect()
+}
+
+/// The `BENCH_serve_latency.json` payload: per-endpoint count and
+/// p50/p95/p99, keyed by the endpoint name (from the
+/// `serve.rtt.<endpoint>_us` histogram naming convention).
+fn latency_json(resp: &StatsResponse) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for h in &resp.histograms {
+        let Some(endpoint) = h
+            .name
+            .strip_prefix("serve.rtt.")
+            .and_then(|n| n.strip_suffix("_us"))
+        else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{endpoint}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            h.count, h.p50, h.p95, h.p99
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn fetch_stats(addr: &str) -> Result<StatsResponse, String> {
+    let mut client =
+        TriageClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    client
+        .stats_query(&StatsRequest::default())
+        .map_err(|e| format!("querying stats: {e}"))
+}
+
+fn cmd_stats(flags: &[(String, String)], json: bool, latency: bool) -> Result<(), String> {
+    let addr = flag(flags, "addr").unwrap_or(DEFAULT_ADDR);
+    let resp = fetch_stats(addr)?;
+    if latency {
+        println!("{}", latency_json(&resp));
+        return Ok(());
+    }
+    if json {
+        println!("{}", mvm_json::to_string_pretty(&resp));
+        return Ok(());
+    }
+    println!(
+        "daemon {addr}: up {}ms, {} requests over {} connections",
+        resp.uptime_us / 1_000,
+        resp.requests,
+        resp.connections
+    );
+    print!(
+        "{}",
+        res_debugger::obs::render::render(&stats_events(&resp))
+    );
+    Ok(())
+}
+
+fn cmd_top(flags: &[(String, String)]) -> Result<(), String> {
+    let addr = flag(flags, "addr").unwrap_or(DEFAULT_ADDR);
+    let interval_ms: u64 = parsed(flags, "interval-ms")?.unwrap_or(1000);
+    let count: u64 = parsed(flags, "count")?.unwrap_or(0);
+    let mut shown = 0u64;
+    loop {
+        let resp = fetch_stats(addr)?;
+        // Clear the screen and home the cursor between frames.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "res-serve {addr} — up {}ms, {} requests / {} connections (^C to quit)",
+            resp.uptime_us / 1_000,
+            resp.requests,
+            resp.connections
+        );
+        print!(
+            "{}",
+            res_debugger::obs::render::render(&stats_events(&resp))
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        shown += 1;
+        if count != 0 && shown >= count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+fn cmd_journal(
+    path: &Path,
+    flags: &[(String, String)],
+    requests: bool,
+    quantiles: bool,
+) -> Result<(), String> {
+    let journal = read_journal_full(path)?;
+    let events = &journal.events;
+    println!("{} events in {}", events.len(), path.display());
+    for (line, version) in &journal.skipped {
+        println!("  skipped line {line}: unknown journal version {version}");
+    }
+
+    let mut filtered = false;
+    if let Some(prefix) = flag(flags, "span") {
+        filtered = true;
+        let tree = query::render_span_prefix(events, prefix);
+        if tree.is_empty() {
+            println!("no spans under prefix {prefix:?}");
+        } else {
+            print!("{tree}");
+        }
+    }
+    if let Some(pattern) = flag(flags, "counters") {
+        filtered = true;
+        let counters = query::counters_matching(events, pattern);
+        if counters.is_empty() {
+            println!("no counters matching {pattern:?}");
+        } else {
+            for (name, total) in counters {
+                println!("{name:<44} {total}");
+            }
+        }
+    }
+    if let Some(req_id) = flag(flags, "req") {
+        filtered = true;
+        match query::render_request(events, req_id) {
+            Some(tree) => print!("{tree}"),
+            None => return Err(format!("no request {req_id:?} in {}", path.display())),
+        }
+    }
+    if quantiles {
+        filtered = true;
+        for h in query::histo_summaries(events) {
+            println!(
+                "{:<44} n={} p50={} p95={} p99={} max={}",
+                h.name, h.count, h.p50, h.p95, h.p99, h.max
+            );
+        }
+    }
+    if requests || !filtered {
+        let entries = query::requests(events);
+        if entries.is_empty() {
+            println!("no requests (no *.req.meta marks)");
+        } else {
+            println!(
+                "{:<10} {:<16} {:>5}  {:<8} dur_us",
+                "req", "endpoint", "spans", "status"
+            );
+            let mut broken = 0usize;
+            for e in &entries {
+                let status = if e.reconciled() { "ok" } else { "BROKEN" };
+                if !e.reconciled() {
+                    broken += 1;
+                }
+                println!(
+                    "{:<10} {:<16} {:>5}  {:<8} {}",
+                    e.req_id,
+                    e.endpoint,
+                    e.spans,
+                    status,
+                    e.dur_us
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "open".into())
+                );
+            }
+            // The CI reconciliation gate: every request's span tree
+            // must resolve, carry phase children, and be fully closed.
+            if requests && broken > 0 {
+                return Err(format!("{broken} request(s) did not reconcile"));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage:
@@ -459,9 +707,12 @@ fn usage() -> ! {
   res-cli verify <dir> <trace-file>
   res-cli verdict <dir>
   res-cli trace <journal>
-  res-cli serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N] [--store DIR] [--trace PATH]
+  res-cli serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N] [--store DIR] [--trace PATH] [--slow-us N]
   res-cli submit <dir> [--addr A] [--max-nodes N] [--deadline-ms N] [--workers N] [--emit-trace FILE]
   res-cli shutdown [--addr A]
+  res-cli stats [--addr A] [--json] [--latency-json]
+  res-cli top [--addr A] [--interval-ms N] [--count N]
+  res-cli journal <file> [--span PREFIX] [--counters GLOB] [--req ID] [--requests] [--quantiles]
 
 replay traces end in .restrace (JSON) or .restrace.bin (binary).
 --trace PATH is the res-obs journal; it wins over the RES_TRACE env fallback."
@@ -527,7 +778,15 @@ fn main() {
         Some("serve") => {
             let (pos, flags) = parse_flags(
                 &args[1..],
-                &["addr", "workers", "queue-cap", "hot-cap", "store", "trace"],
+                &[
+                    "addr",
+                    "workers",
+                    "queue-cap",
+                    "hot-cap",
+                    "store",
+                    "trace",
+                    "slow-us",
+                ],
             );
             if !pos.is_empty() {
                 usage();
@@ -550,6 +809,47 @@ fn main() {
                 usage();
             }
             cmd_shutdown(&flags)
+        }
+        Some("stats") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let mut bool_flag = |name: &str| match rest.iter().position(|a| a == name) {
+                Some(i) => {
+                    rest.remove(i);
+                    true
+                }
+                None => false,
+            };
+            let json = bool_flag("--json");
+            let latency = bool_flag("--latency-json");
+            let (pos, flags) = parse_flags(&rest, &["addr"]);
+            if !pos.is_empty() {
+                usage();
+            }
+            cmd_stats(&flags, json, latency)
+        }
+        Some("top") => {
+            let (pos, flags) = parse_flags(&args[1..], &["addr", "interval-ms", "count"]);
+            if !pos.is_empty() {
+                usage();
+            }
+            cmd_top(&flags)
+        }
+        Some("journal") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let mut bool_flag = |name: &str| match rest.iter().position(|a| a == name) {
+                Some(i) => {
+                    rest.remove(i);
+                    true
+                }
+                None => false,
+            };
+            let requests = bool_flag("--requests");
+            let quantiles = bool_flag("--quantiles");
+            let (pos, flags) = parse_flags(&rest, &["span", "counters", "req"]);
+            match pos.first() {
+                Some(file) => cmd_journal(Path::new(file), &flags, requests, quantiles),
+                None => usage(),
+            }
         }
         _ => usage(),
     };

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! res-serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N]
-//!           [--store DIR] [--trace PATH]
+//!           [--store DIR] [--trace PATH] [--slow-us N]
 //!           [--ceiling-nodes N] [--ceiling-deadline-ms N]
 //! ```
 //!
@@ -19,7 +19,7 @@ use res_debugger::serve::{serve, ServeConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: res-serve [--addr A] [--workers N] [--queue-cap N] [--hot-cap N] \
-         [--store DIR] [--trace PATH] [--ceiling-nodes N] [--ceiling-deadline-ms N]"
+         [--store DIR] [--trace PATH] [--slow-us N] [--ceiling-nodes N] [--ceiling-deadline-ms N]"
     );
     std::process::exit(2)
 }
@@ -39,6 +39,7 @@ fn main() {
             "--hot-cap" => cfg.hot_cap = val().parse().unwrap_or_else(|_| usage()),
             "--store" => cfg.store_dir = Some(PathBuf::from(val())),
             "--trace" => cfg.trace = Some(PathBuf::from(val())),
+            "--slow-us" => cfg.slow_us = Some(val().parse().unwrap_or_else(|_| usage())),
             "--ceiling-nodes" => ceiling_nodes = Some(val().parse().unwrap_or_else(|_| usage())),
             "--ceiling-deadline-ms" => {
                 ceiling_deadline_ms = Some(val().parse().unwrap_or_else(|_| usage()))

@@ -1,0 +1,310 @@
+//! Telemetry tests for the `res-serve` daemon (DESIGN.md §8): request
+//! ids are deterministic, the typed stats endpoint answers inline even
+//! while workers are busy or the queue is full, and the journal
+//! reconstructs every request's span tree — queue wait, worker phases,
+//! store commits, reply serialization — from the `serve.req` roots.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use res_debugger::obs::{query, read_journal_full, EventKind};
+use res_debugger::prelude::*;
+use res_debugger::serve::{serve, ServeConfig, StatsRequest, TriageClient, WireRequest};
+use res_debugger::triage::TriageRequest;
+use res_debugger::workloads::{generate_corpus, CorpusSpec, FailureReport};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("res-serve-telem-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn small_corpus(kinds: Vec<BugKind>, per_kind: usize) -> Vec<FailureReport> {
+    generate_corpus(&CorpusSpec {
+        kinds,
+        per_kind,
+        ..CorpusSpec::default()
+    })
+}
+
+fn request_for(r: &FailureReport) -> TriageRequest {
+    TriageRequest::new(r.program.clone(), r.dump.clone())
+}
+
+/// The id scheme is `c<connection>.<sequence>`: connections numbered
+/// from 1 in accept order, requests from 0 per connection. One client
+/// submitting in order therefore sees the same ids at every worker
+/// count — the id depends on the wire order, never on which worker
+/// picked the job up.
+#[test]
+fn request_ids_are_deterministic_at_any_worker_count() {
+    let corpus = small_corpus(vec![BugKind::DivByZero], 1);
+    let report = &corpus[0];
+    for workers in [1usize, 2, 4] {
+        let handle = serve(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        })
+        .expect("boot daemon");
+        let mut client = TriageClient::connect(handle.addr()).expect("connect");
+        for seq in 0..3u64 {
+            let resp = client
+                .triage(request_for(report))
+                .expect("io")
+                .expect("admitted");
+            assert_eq!(
+                resp.req_id.as_deref(),
+                Some(format!("c1.{seq}").as_str()),
+                "request id drifted at workers = {workers}"
+            );
+        }
+        let mut second = TriageClient::connect(handle.addr()).expect("connect");
+        let resp = second
+            .triage(request_for(report))
+            .expect("io")
+            .expect("admitted");
+        assert_eq!(
+            resp.req_id.as_deref(),
+            Some("c2.0"),
+            "a new connection starts its own sequence at workers = {workers}"
+        );
+        drop(client);
+        drop(second);
+        let mut handle = handle;
+        handle.stop();
+    }
+}
+
+/// The stats endpoint takes no queue slot: with zero workers and the
+/// single queue slot parked forever, `StatsQuery` is still answered —
+/// and every histogram snapshot is self-consistent (count equals the
+/// sum of its own buckets) because `count` is derived from the buckets
+/// that were read.
+#[test]
+fn stats_query_answers_inline_while_the_queue_is_full() {
+    let corpus = small_corpus(vec![BugKind::DivByZero], 1);
+    let handle = serve(ServeConfig {
+        workers: 0,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    })
+    .expect("boot daemon");
+
+    let mut occupant = TriageClient::connect(handle.addr()).expect("connect occupant");
+    occupant
+        .send(&WireRequest::BucketBatch(vec![request_for(&corpus[0])]))
+        .expect("send");
+
+    // Wait until the batch actually occupies the queue.
+    let mut probe = TriageClient::connect(handle.addr()).expect("connect probe");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = probe.stats().expect("stats");
+        if stats.admitted == 1 && stats.queue_depth == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "batch never reached the queue");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Queue full, nothing draining — the typed endpoint still answers.
+    let report = probe
+        .stats_query(&StatsRequest::default())
+        .expect("stats endpoint must answer under backpressure");
+    assert!(report.requests >= 2, "occupant + probes all counted");
+    assert_eq!(report.server.queue_depth, 1);
+    assert!(
+        report
+            .histograms
+            .iter()
+            .any(|h| h.name == "serve.rtt.triage_us"),
+        "registered histograms appear even before their first sample"
+    );
+    for h in &report.histograms {
+        assert_eq!(
+            h.count,
+            h.buckets.iter().sum::<u64>(),
+            "snapshot of {} must be self-consistent",
+            h.name
+        );
+    }
+
+    drop(probe);
+    drop(occupant);
+    let mut handle = handle;
+    handle.stop();
+}
+
+/// Snapshotting never blocks the workers: a probe hammers `StatsQuery`
+/// for the whole lifetime of an in-flight `BucketBatch` and every
+/// answer arrives and is self-consistent, while the batch completes
+/// normally.
+#[test]
+fn concurrent_stats_queries_do_not_block_an_active_batch() {
+    let corpus = small_corpus(vec![BugKind::DivByZero, BugKind::UseAfterFree], 2);
+    let reqs: Vec<TriageRequest> = corpus.iter().map(request_for).collect();
+    let n = reqs.len();
+    let handle = serve(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("boot daemon");
+    let addr = handle.addr().to_string();
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut client = TriageClient::connect(&addr).expect("connect batcher");
+            let keys = client.bucket_batch(reqs).expect("io").expect("admitted");
+            assert_eq!(keys.len(), n);
+            done.store(true, Ordering::SeqCst);
+        });
+        let mut probe = TriageClient::connect(&addr).expect("connect probe");
+        let mut polls = 0u64;
+        while !done.load(Ordering::SeqCst) {
+            let r = probe
+                .stats_query(&StatsRequest::default())
+                .expect("stats endpoint must answer mid-batch");
+            for h in &r.histograms {
+                assert_eq!(h.count, h.buckets.iter().sum::<u64>(), "{}", h.name);
+            }
+            polls += 1;
+        }
+        // At least one snapshot must observe the completed batch.
+        let r = probe
+            .stats_query(&StatsRequest::default())
+            .expect("final stats");
+        let fanout = r
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve.batch.fanout")
+            .expect("fanout histogram");
+        assert_eq!(fanout.count, 1, "one batch recorded after {polls} polls");
+        assert_eq!(fanout.max, n as u64, "fanout records the batch size");
+    });
+
+    let mut handle = handle;
+    handle.stop();
+}
+
+/// The journal tells each request's complete story: every request
+/// reconciles (meta mark → real span subtree, fully closed), the
+/// triage tree carries all five phase children, requests over the slow
+/// threshold leave `serve.slow` marks, the flight recorder holds their
+/// phase timings, and the per-completion gauge flushes form a time
+/// series.
+#[test]
+fn journal_reconciles_every_request_and_flags_slow_ones() {
+    let dir = temp_dir("journal");
+    let journal = dir.join("serve.jsonl");
+    let corpus = small_corpus(vec![BugKind::DivByZero], 2);
+
+    let handle = serve(ServeConfig {
+        workers: 2,
+        store_dir: Some(dir.join("store")),
+        trace: Some(journal.clone()),
+        slow_us: Some(1), // everything is "slow": deterministic marks
+        recent_cap: 8,
+        ..ServeConfig::default()
+    })
+    .expect("boot daemon");
+    let mut client = TriageClient::connect(handle.addr()).expect("connect");
+    for r in &corpus {
+        let _ = client
+            .triage(request_for(r))
+            .expect("io")
+            .expect("admitted");
+    }
+    let live = client.stats_query(&StatsRequest::default()).expect("stats");
+
+    // Flight recorder: both triage requests, in completion order, with
+    // phase timings that add up.
+    let triaged: Vec<_> = live
+        .recent
+        .iter()
+        .filter(|s| s.endpoint == "triage")
+        .collect();
+    assert_eq!(triaged.len(), 2);
+    for s in &triaged {
+        assert_eq!(s.outcome, "ok");
+        assert!(s.total_us >= s.synth_us, "total covers synthesis: {s:?}");
+    }
+    assert_eq!(triaged[0].req_id, "c1.0");
+    assert_eq!(triaged[1].req_id, "c1.1");
+
+    drop(client);
+    let mut handle = handle;
+    handle.stop();
+
+    let parsed = read_journal_full(&journal).expect("journal parses");
+    assert!(parsed.skipped.is_empty(), "no foreign schema versions");
+    let events = parsed.events;
+
+    // Every request in the journal reconciles.
+    let entries = query::requests(&events);
+    assert!(entries.len() >= 3, "two triages + the stats query");
+    for e in &entries {
+        assert!(e.reconciled(), "request did not reconcile: {e:?}");
+    }
+    let first = entries.iter().find(|e| e.req_id == "c1.0").expect("c1.0");
+    assert_eq!(first.endpoint, "triage");
+    assert_eq!(
+        first.spans, 6,
+        "req + admission + work + store + synth + reply"
+    );
+
+    // The rendered tree names every phase.
+    let tree = query::render_request(&events, "c1.0").expect("request tree");
+    for needle in [
+        "serve.req",
+        "serve.req.admission",
+        "serve.req.work",
+        "serve.req.store",
+        "serve.req.synth",
+        "serve.req.reply",
+    ] {
+        assert!(tree.contains(needle), "tree missing {needle}:\n{tree}");
+    }
+
+    // Slow marks name the request and carry its phase split.
+    let slow_reqs: Vec<String> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Mark { name, fields } if name == "serve.slow" => fields
+                .iter()
+                .find(|(k, _)| k == "req")
+                .map(|(_, v)| v.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(slow_reqs.contains(&"c1.0".to_string()), "{slow_reqs:?}");
+    assert!(slow_reqs.contains(&"c1.1".to_string()), "{slow_reqs:?}");
+
+    // Per-completion gauge flushes: `serve.completed` is a time
+    // series, not one terminal total.
+    let completed: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Gauge { name, value } if name == "serve.completed" => Some(*value),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        completed.contains(&1) && completed.contains(&2),
+        "gauge flushes must capture intermediate states: {completed:?}"
+    );
+
+    // The shutdown registry flush makes latency quantiles queryable
+    // post-mortem.
+    let summaries = query::histo_summaries(&events);
+    let rtt = summaries
+        .iter()
+        .find(|s| s.name == "serve.rtt.triage_us")
+        .expect("journaled rtt histogram");
+    assert_eq!(rtt.count, 2);
+    assert!(rtt.p50 <= rtt.p95 && rtt.p95 <= rtt.p99 && rtt.p99 <= rtt.max);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
